@@ -1,0 +1,224 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets: run `go test -bench=. -benchmem` (see DESIGN.md §5 for the
+// experiment index and cmd/experiments for the full drivers with the
+// paper's output format).
+package gesmc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gesmc/internal/autocorr"
+	"gesmc/internal/core"
+	"gesmc/internal/gen"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Shared benchmark workloads, generated once.
+var (
+	benchOnce sync.Once
+	benchPld  *graph.Graph // power-law, the "social network" workload
+	benchGnp  *graph.Graph // near-regular G(n,p)
+	benchRoad *graph.Graph // grid, the road-network workload
+)
+
+func benchGraphs(b *testing.B) (*graph.Graph, *graph.Graph, *graph.Graph) {
+	b.Helper()
+	benchOnce.Do(func() {
+		src := rng.NewMT19937(12345)
+		var err error
+		benchPld, err = gen.SynPldGraph(1<<14, 2.1, src)
+		if err != nil {
+			panic(err)
+		}
+		benchGnp = gen.GNP(1<<13, 16.0/float64(1<<13), src)
+		benchRoad = gen.Grid2D(128, 128)
+	})
+	return benchPld, benchGnp, benchRoad
+}
+
+func runAlg(b *testing.B, g *graph.Graph, alg core.Algorithm, supersteps int, cfg core.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		if _, err := core.Run(c, alg, supersteps, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(g.M()) * 8 * int64(supersteps))
+}
+
+// BenchmarkTable4 regenerates Table 4 (Figure 4): all implementations,
+// 20 supersteps, on the power-law workload; P=1 and P=4 variants for the
+// parallel implementations.
+func BenchmarkTable4(b *testing.B) {
+	pld, _, _ := benchGraphs(b)
+	for _, alg := range []core.Algorithm{
+		core.AlgAdjListES, core.AlgAdjSortES, core.AlgSeqES, core.AlgSeqGlobalES,
+	} {
+		b.Run(alg.String(), func(b *testing.B) {
+			runAlg(b, pld, alg, 20, core.Config{Seed: 1, Prefetch: true})
+		})
+	}
+	for _, alg := range []core.Algorithm{core.AlgNaiveParES, core.AlgParES, core.AlgParGlobalES} {
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/P%d", alg, p), func(b *testing.B) {
+				runAlg(b, pld, alg, 20, core.Config{Seed: 1, Workers: p})
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Autocorr regenerates the Figure 2 measurement kernel: the
+// autocorrelation analysis of ES-MC vs G-ES-MC on a SynPld graph.
+func BenchmarkFig2Autocorr(b *testing.B) {
+	src := rng.NewMT19937(2)
+	g, err := gen.SynPldGraph(1<<7, 2.1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thinnings := autocorr.DefaultThinnings(8)
+	for _, chain := range []autocorr.Chain{autocorr.ChainES, autocorr.ChainGlobalES} {
+		b.Run(chain.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				autocorr.Analyze(g, chain, 48, thinnings, 1e-6, uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Prefetch regenerates the Figure 5 comparison: sequential
+// and parallel G-ES-MC with the bucket pre-touch pipeline off and on.
+func BenchmarkFig5Prefetch(b *testing.B) {
+	pld, _, _ := benchGraphs(b)
+	for _, prefetch := range []bool{false, true} {
+		name := "off"
+		if prefetch {
+			name = "on"
+		}
+		b.Run("SeqES/prefetch="+name, func(b *testing.B) {
+			runAlg(b, pld, core.AlgSeqES, 20, core.Config{Seed: 1, Prefetch: prefetch})
+		})
+		b.Run("SeqGlobalES/prefetch="+name, func(b *testing.B) {
+			runAlg(b, pld, core.AlgSeqGlobalES, 20, core.Config{Seed: 1, Prefetch: prefetch})
+		})
+	}
+}
+
+// BenchmarkFig6Scaling regenerates Figure 6: ParGlobalES across worker
+// counts (self speed-up is the inverse ratio of the reported times).
+func BenchmarkFig6Scaling(b *testing.B) {
+	pld, _, _ := benchGraphs(b)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			runAlg(b, pld, core.AlgParGlobalES, 20, core.Config{Seed: 1, Workers: p})
+		})
+	}
+}
+
+// BenchmarkFig7Density regenerates Figure 7: ParGlobalES on G(n,p) with
+// a fixed edge budget and varying average degree.
+func BenchmarkFig7Density(b *testing.B) {
+	const m = 1 << 15
+	for _, avg := range []float64{8, 64, 512} {
+		n := int(2 * float64(m) / avg)
+		src := rng.NewMT19937(uint64(n))
+		g := gen.GNPWithEdges(n, m, src)
+		b.Run(fmt.Sprintf("avgdeg=%.0f", avg), func(b *testing.B) {
+			runAlg(b, g, core.AlgParGlobalES, 20, core.Config{Seed: 1, Workers: 4})
+		})
+	}
+}
+
+// BenchmarkFig8Gamma regenerates Figure 8: ParGlobalES runtime per edge
+// across power-law exponents.
+func BenchmarkFig8Gamma(b *testing.B) {
+	for _, gamma := range []float64{2.01, 2.5, 3.0} {
+		src := rng.NewMT19937(uint64(gamma * 1000))
+		g, err := gen.SynPldGraph(1<<13, gamma, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gamma=%.2f", gamma), func(b *testing.B) {
+			runAlg(b, g, core.AlgParGlobalES, 20, core.Config{Seed: 1, Workers: 4})
+		})
+	}
+}
+
+// BenchmarkFig9Rounds regenerates Figure 9's kernel: global switches
+// under the worst-case scheduler, whose round counts the paper bounds
+// (road graph: near-regular, few rounds; power law: more rounds).
+func BenchmarkFig9Rounds(b *testing.B) {
+	pld, _, road := benchGraphs(b)
+	for _, w := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"powerlaw", pld}, {"road", road}} {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds int64
+			var steps int
+			for i := 0; i < b.N; i++ {
+				c := w.g.Clone()
+				stats, err := core.Run(c, core.AlgParGlobalES, 5,
+					core.Config{Seed: 1, Workers: 4, PessimisticRounds: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += stats.TotalRounds
+				steps += stats.InternalSupersteps
+			}
+			b.ReportMetric(float64(rounds)/float64(steps), "rounds/superstep")
+		})
+	}
+}
+
+// BenchmarkAblationSampling compares §5.3's two edge-sampling options in
+// SeqES: the auxiliary edge array vs direct random-bucket probing.
+func BenchmarkAblationSampling(b *testing.B) {
+	_, gnp, _ := benchGraphs(b)
+	b.Run("array", func(b *testing.B) {
+		runAlg(b, gnp, core.AlgSeqES, 10, core.Config{Seed: 1})
+	})
+	b.Run("buckets", func(b *testing.B) {
+		runAlg(b, gnp, core.AlgSeqES, 10, core.Config{Seed: 1, SampleViaBuckets: true})
+	})
+}
+
+// BenchmarkAblationPermutation compares the sequential Fisher-Yates
+// shuffle with the parallel scatter shuffle that feeds ParGlobalES.
+func BenchmarkAblationPermutation(b *testing.B) {
+	const n = 1 << 18
+	b.Run("sequential", func(b *testing.B) {
+		src := rng.NewMT19937(1)
+		for i := 0; i < b.N; i++ {
+			rng.Perm(src, n)
+		}
+	})
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel/P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng.ParallelPerm(uint64(i), n, p)
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end public entry point.
+func BenchmarkPublicAPI(b *testing.B) {
+	g, err := GeneratePowerLaw(1<<12, 2.5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := g.Clone()
+		if _, err := Randomize(c, Options{Algorithm: ParGlobalES, Workers: 2, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

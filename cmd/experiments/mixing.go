@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+
+	"gesmc/internal/autocorr"
+	"gesmc/internal/gen"
+	"gesmc/internal/rng"
+)
+
+// fig2 reproduces Figure 2: the mean fraction of non-independent edges
+// as a function of the thinning value (in supersteps) for SynPld graphs,
+// comparing ES-MC and G-ES-MC. The paper's grid is
+// (n, gamma) in {2^7, 2^10, 2^13} x {2.01, 2.1, 2.2, 2.5} with 40 runs;
+// the scaled default uses n in {2^7, 2^9}, 5 runs.
+func fig2(opt options) error {
+	ns := []int{1 << 7, 1 << 9, 1 << 11}
+	runs := 10
+	supersteps := 512
+	if opt.quick {
+		ns = []int{1 << 7}
+		runs = 2
+		supersteps = 32
+	}
+	gammas := []float64{2.01, 2.1, 2.2, 2.5}
+	thinnings := autocorr.DefaultThinnings(supersteps / 6)
+
+	fmt.Printf("%-8s %-6s %-8s | fraction of non-independent edges per thinning\n", "n", "gamma", "chain")
+	header := "                          |"
+	for _, k := range thinnings {
+		header += fmt.Sprintf(" k=%-5d", k)
+	}
+	fmt.Println(header)
+
+	for _, n := range ns {
+		for _, gamma := range gammas {
+			src := rng.NewMT19937(opt.seed ^ uint64(n)<<16 ^ uint64(gamma*1000))
+			var esRuns, gesRuns []autocorr.Result
+			for r := 0; r < runs; r++ {
+				g, err := gen.SynPldGraph(int(float64(n)*opt.scale), gamma, src)
+				if err != nil {
+					return err
+				}
+				seed := src.Uint64()
+				esRuns = append(esRuns, autocorr.Analyze(g, autocorr.ChainES, supersteps, thinnings, 1e-6, seed))
+				gesRuns = append(gesRuns, autocorr.Analyze(g, autocorr.ChainGlobalES, supersteps, thinnings, 1e-6, seed))
+			}
+			printFig2Row(n, gamma, "ES-MC", autocorr.MeanResults(esRuns))
+			printFig2Row(n, gamma, "G-ES-MC", autocorr.MeanResults(gesRuns))
+		}
+	}
+	fmt.Println("\npaper shape: G-ES-MC <= ES-MC at every thinning; advantage grows with gamma.")
+	return nil
+}
+
+func printFig2Row(n int, gamma float64, chain string, res autocorr.Result) {
+	row := fmt.Sprintf("%-8d %-6.2f %-8s |", n, gamma, chain)
+	for _, f := range res.NonIndependent {
+		row += fmt.Sprintf(" %-7.4f", f)
+	}
+	fmt.Println(row)
+}
+
+// fig3 reproduces Figure 3: for every corpus graph, the first thinning
+// value at which the mean fraction of non-independent edges drops below
+// tau, for tau = 1e-2 and 1e-3, against edge count and density.
+func fig3(opt options) error {
+	minM, maxM := 500, 60000
+	runs := 3
+	supersteps := 256
+	if opt.quick {
+		maxM = 6000
+		runs = 1
+		supersteps = 48
+	}
+	corpus, err := gen.SweepCorpus(minM, int(float64(maxM)*opt.scale), opt.seed)
+	if err != nil {
+		return err
+	}
+	thinnings := autocorr.DefaultThinnings(supersteps / 4)
+
+	fmt.Printf("%-18s %-8s %-10s | %-12s %-12s | %-12s %-12s\n",
+		"graph", "m", "density", "ES k@1e-2", "GES k@1e-2", "ES k@1e-3", "GES k@1e-3")
+	wins2, wins3, ties2, ties3, total2, total3 := 0, 0, 0, 0, 0, 0
+	for _, c := range corpus {
+		var es, ges []autocorr.Result
+		for r := 0; r < runs; r++ {
+			seed := opt.seed + uint64(r)*7919
+			es = append(es, autocorr.Analyze(c.G, autocorr.ChainES, supersteps, thinnings, 1e-6, seed))
+			ges = append(ges, autocorr.Analyze(c.G, autocorr.ChainGlobalES, supersteps, thinnings, 1e-6, seed))
+		}
+		esMean := autocorr.MeanResults(es)
+		gesMean := autocorr.MeanResults(ges)
+		e2, g2 := esMean.FirstThinningBelow(1e-2), gesMean.FirstThinningBelow(1e-2)
+		e3, g3 := esMean.FirstThinningBelow(1e-3), gesMean.FirstThinningBelow(1e-3)
+		fmt.Printf("%-18s %-8d %-10.2e | %-12s %-12s | %-12s %-12s\n",
+			c.Name, c.G.M(), c.G.Density(), fmtThin(e2), fmtThin(g2), fmtThin(e3), fmtThin(g3))
+		if e2 > 0 && g2 > 0 {
+			total2++
+			if g2 < e2 {
+				wins2++
+			} else if g2 == e2 {
+				ties2++
+			}
+		}
+		if e3 > 0 && g3 > 0 {
+			total3++
+			if g3 < e3 {
+				wins3++
+			} else if g3 == e3 {
+				ties3++
+			}
+		}
+	}
+	fmt.Printf("\nG-ES-MC faster-or-equal at tau=1e-2 on %d+%d of %d comparable graphs; at tau=1e-3 on %d+%d of %d.\n",
+		wins2, ties2, total2, wins3, ties3, total3)
+	fmt.Println("paper shape: G-ES-MC outperforms ES-MC except on very dense graphs.")
+	return nil
+}
+
+func fmtThin(k int) string {
+	if k == 0 {
+		return ">max"
+	}
+	return fmt.Sprintf("%d", k)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantN   int
+		wantErr bool
+	}{
+		{"gnp:n=100,p=0.1", 100, false},
+		{"pld:n=256,gamma=2.5", 256, false},
+		{"reg:n=32,d=4", 32, false},
+		{"grid:r=4,c=5", 20, false},
+		{"gnp:n=100", 0, true},     // missing p
+		{"pld:gamma=2.5", 0, true}, // missing n
+		{"blah:n=10", 0, true},     // unknown generator
+		{"gnp:n=abc,p=0.1", 0, true},
+		{"gnp:n", 0, true}, // malformed kv
+	}
+	for _, c := range cases {
+		g, err := generate(c.spec, 1)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("generate(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("generate(%q): %v", c.spec, err)
+			continue
+		}
+		if g.N() != c.wantN {
+			t.Errorf("generate(%q): n=%d, want %d", c.spec, g.N(), c.wantN)
+		}
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if _, err := loadGraph(path, "gnp:n=10,p=0.1", 1); err == nil {
+		t.Fatal("-in and -gen together accepted")
+	}
+	if _, err := loadGraph("", "", 1); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

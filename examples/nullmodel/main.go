@@ -1,0 +1,78 @@
+// Null-model significance testing — the motivating application of the
+// paper's introduction: is a structural property of an observed network
+// (here: its triangle count) statistically significant, or explained by
+// the degree sequence alone?
+//
+// We build an "observed" network with pronounced clustering, then draw
+// null-model samples with identical degrees via G-ES-MC and report the
+// empirical z-score of the observed triangle count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gesmc"
+)
+
+// observedNetwork builds a small-world-flavored graph: a ring of cliques
+// with shortcut edges, giving far more triangles than its degree
+// sequence alone explains.
+func observedNetwork() (*gesmc.Graph, error) {
+	const cliques = 40
+	const size = 6
+	n := cliques * size
+	var edges [][2]uint32
+	for c := 0; c < cliques; c++ {
+		base := uint32(c * size)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]uint32{base + uint32(i), base + uint32(j)})
+			}
+		}
+		// Link to the next clique.
+		next := uint32(((c + 1) % cliques) * size)
+		edges = append(edges, [2]uint32{base, next + 1})
+	}
+	return gesmc.NewGraph(n, edges)
+}
+
+func main() {
+	observed, err := observedNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsTriangles := float64(observed.Triangles())
+	fmt.Printf("observed: n=%d m=%d triangles=%.0f clustering=%.3f\n",
+		observed.N(), observed.M(), obsTriangles, observed.ClusteringCoefficient())
+
+	// Draw null-model samples: same degrees, otherwise uniform.
+	const samples = 100
+	var sum, sumsq float64
+	for s := 0; s < samples; s++ {
+		g := observed.Clone()
+		if _, err := gesmc.Randomize(g, gesmc.Options{
+			Algorithm:    gesmc.ParGlobalES,
+			Workers:      2,
+			SwapsPerEdge: 15,
+			Seed:         uint64(s) + 1,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		tr := float64(g.Triangles())
+		sum += tr
+		sumsq += tr * tr
+	}
+	mean := sum / samples
+	sd := math.Sqrt(sumsq/samples - mean*mean)
+	z := (obsTriangles - mean) / sd
+
+	fmt.Printf("null model (%d samples): triangles mean=%.1f sd=%.1f\n", samples, mean, sd)
+	fmt.Printf("z-score of observed triangle count: %.1f\n", z)
+	if z > 3 {
+		fmt.Println("=> clustering is NOT explained by the degree sequence (significant).")
+	} else {
+		fmt.Println("=> clustering is consistent with the degree-sequence null model.")
+	}
+}

@@ -1,0 +1,49 @@
+// Scaling: compare all implementations on one graph and sweep the
+// worker count of ParGlobalES — a miniature of the paper's Table 4 and
+// Figure 6 through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"gesmc"
+)
+
+func main() {
+	g, err := gesmc.GeneratePowerLaw(1<<15, 2.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: n=%d m=%d dmax=%d (20 supersteps each)\n\n", g.N(), g.M(), g.MaxDegree())
+
+	fmt.Println("algorithm comparison (P=1):")
+	for _, alg := range gesmc.Algorithms() {
+		c := g.Clone()
+		stats, err := gesmc.Randomize(c, gesmc.Options{Algorithm: alg, Workers: 1, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %10v  acceptance=%.3f\n",
+			stats.Algorithm, stats.Duration.Round(10_000), float64(stats.Accepted)/float64(stats.Attempted))
+	}
+
+	fmt.Println("\nParGlobalES worker sweep:")
+	var base float64
+	maxP := runtime.GOMAXPROCS(0) * 4 // oversubscribe to show the trend even on small hosts
+	for p := 1; p <= maxP; p *= 2 {
+		c := g.Clone()
+		stats, err := gesmc.Randomize(c, gesmc.Options{Algorithm: gesmc.ParGlobalES, Workers: p, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := stats.Duration.Seconds()
+		if p == 1 {
+			base = secs
+		}
+		fmt.Printf("  P=%-3d %10v  self-speedup=%.2f  rounds(avg=%.2f,max=%d)\n",
+			p, stats.Duration.Round(10_000), base/secs, stats.AvgRounds, stats.MaxRounds)
+	}
+	fmt.Printf("\n(%d hardware threads available; speed-up saturates there)\n", runtime.NumCPU())
+}

@@ -1,0 +1,198 @@
+package autocorr
+
+import (
+	"math"
+	"testing"
+
+	"gesmc/internal/gen"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+func TestG2Degenerate(t *testing.T) {
+	if s, n := g2([4]uint32{0, 0, 0, 0}); s != 0 || n != 0 {
+		t.Fatalf("empty table: %v, %d", s, n)
+	}
+	// Constant series (always present): only n11 counts.
+	if s, _ := g2([4]uint32{0, 0, 0, 100}); s != 0 {
+		t.Fatalf("constant series G2 = %v, want 0", s)
+	}
+	// Perfectly independent 2x2 table: G2 = 0.
+	if s, _ := g2([4]uint32{25, 25, 25, 25}); math.Abs(s) > 1e-9 {
+		t.Fatalf("balanced table G2 = %v, want 0", s)
+	}
+}
+
+func TestG2DetectsStrongDependence(t *testing.T) {
+	// Deterministic alternation: heavily Markov-like.
+	s, n := g2([4]uint32{0, 50, 50, 0})
+	if n != 100 {
+		t.Fatalf("n = %d", n)
+	}
+	if s <= math.Log(100) {
+		t.Fatalf("alternating series not flagged: G2 = %v", s)
+	}
+}
+
+func TestCollectorIndependentSeries(t *testing.T) {
+	// Feed iid bits: virtually all edges should be deemed independent
+	// at every thinning.
+	src := rng.NewMT19937(42)
+	const nEdges = 500
+	col := NewCollector(nEdges, []int{1, 2, 4})
+	bits := make([]bool, nEdges)
+	for t0 := 0; t0 <= 400; t0++ {
+		for i := range bits {
+			bits[i] = rng.Bool(src)
+		}
+		col.Record(t0, bits)
+	}
+	fr := col.FractionNonIndependent()
+	for i, f := range fr {
+		if f > 0.05 {
+			t.Fatalf("thinning %d: %.3f flagged dependent on iid input", col.Thinnings()[i], f)
+		}
+	}
+}
+
+func TestCollectorMarkovSeries(t *testing.T) {
+	// Feed strongly sticky Markov bits (stay with prob 0.95): thinning
+	// 1 must flag nearly everything; large thinnings much less.
+	src := rng.NewMT19937(43)
+	const nEdges = 300
+	col := NewCollector(nEdges, []int{1, 32})
+	state := make([]bool, nEdges)
+	bits := make([]bool, nEdges)
+	for t0 := 0; t0 <= 2000; t0++ {
+		for i := range state {
+			if rng.Float64(src) < 0.05 {
+				state[i] = !state[i]
+			}
+			bits[i] = state[i]
+		}
+		col.Record(t0, bits)
+	}
+	fr := col.FractionNonIndependent()
+	if fr[0] < 0.9 {
+		t.Fatalf("thinning 1 flagged only %.3f of sticky series", fr[0])
+	}
+	if fr[1] > fr[0]/2 {
+		t.Fatalf("thinning 32 (%.3f) should be far below thinning 1 (%.3f)", fr[1], fr[0])
+	}
+}
+
+func TestCollectorThinningSchedule(t *testing.T) {
+	col := NewCollector(1, []int{2})
+	bits := []bool{true}
+	for t0 := 0; t0 <= 10; t0++ {
+		col.Record(t0, bits)
+	}
+	// Thinned series has entries at t=0,2,4,6,8,10 -> 5 transitions.
+	if got := col.counts[0][3]; got != 5 {
+		t.Fatalf("thinned transition count = %d, want 5", got)
+	}
+	if col.Samples(0) != 5 {
+		t.Fatalf("Samples = %d", col.Samples(0))
+	}
+}
+
+func TestDefaultThinnings(t *testing.T) {
+	th := DefaultThinnings(50)
+	if th[0] != 1 {
+		t.Fatal("schedule must start at 1")
+	}
+	for i := 1; i < len(th); i++ {
+		if th[i] <= th[i-1] || th[i] > 50 {
+			t.Fatalf("bad schedule %v", th)
+		}
+	}
+}
+
+func TestAnalyzeBothChains(t *testing.T) {
+	src := rng.NewMT19937(7)
+	g, err := gen.SynPldGraph(128, 2.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chain := range []Chain{ChainES, ChainGlobalES} {
+		res := Analyze(g, chain, 60, DefaultThinnings(16), 0.01, 99)
+		if len(res.NonIndependent) != len(res.Thinnings) {
+			t.Fatal("result length mismatch")
+		}
+		// At thinning 1 the chain is strongly autocorrelated.
+		if res.NonIndependent[0] < 0.3 {
+			t.Fatalf("%v: thinning 1 fraction %.3f suspiciously low", chain, res.NonIndependent[0])
+		}
+		// Fractions are probabilities.
+		for _, f := range res.NonIndependent {
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction %v out of range", f)
+			}
+		}
+		// The curve should broadly decrease: final below initial.
+		last := res.NonIndependent[len(res.NonIndependent)-1]
+		if last >= res.NonIndependent[0] {
+			t.Fatalf("%v: no decay: first %.3f, last %.3f", chain, res.NonIndependent[0], last)
+		}
+	}
+}
+
+func TestFirstThinningBelow(t *testing.T) {
+	r := Result{
+		Thinnings:      []int{1, 2, 4},
+		NonIndependent: []float64{0.5, 0.2, 0.005},
+	}
+	if k := r.FirstThinningBelow(0.01); k != 4 {
+		t.Fatalf("FirstThinningBelow(0.01) = %d", k)
+	}
+	if k := r.FirstThinningBelow(0.3); k != 2 {
+		t.Fatalf("FirstThinningBelow(0.3) = %d", k)
+	}
+	if k := r.FirstThinningBelow(0.001); k != 0 {
+		t.Fatalf("FirstThinningBelow(0.001) = %d", k)
+	}
+}
+
+func TestMeanResults(t *testing.T) {
+	a := Result{Thinnings: []int{1, 2}, NonIndependent: []float64{1, 0.5}}
+	b := Result{Thinnings: []int{1, 2}, NonIndependent: []float64{0, 0.5}}
+	m := MeanResults([]Result{a, b})
+	if m.NonIndependent[0] != 0.5 || m.NonIndependent[1] != 0.5 {
+		t.Fatalf("mean = %v", m.NonIndependent)
+	}
+	if MeanResults(nil).NonIndependent != nil {
+		t.Fatal("empty mean should be zero value")
+	}
+}
+
+func TestTrackedBits(t *testing.T) {
+	edges := []graph.Edge{graph.MakeEdge(0, 1), graph.MakeEdge(2, 3)}
+	present := map[graph.Edge]bool{graph.MakeEdge(0, 1): true}
+	bits := TrackedBits(edges, func(e graph.Edge) bool { return present[e] }, nil)
+	if !bits[0] || bits[1] {
+		t.Fatalf("bits = %v", bits)
+	}
+}
+
+func TestAnalyzeCurveball(t *testing.T) {
+	src := rng.NewMT19937(8)
+	g, err := gen.SynPldGraph(128, 2.4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, global := range []bool{false, true} {
+		res := AnalyzeCurveball(g, global, 48, DefaultThinnings(8), 99)
+		if len(res.NonIndependent) != len(res.Thinnings) {
+			t.Fatal("malformed result")
+		}
+		for _, f := range res.NonIndependent {
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction %v out of range", f)
+			}
+		}
+		// Trades decorrelate over supersteps: the curve must decay.
+		if res.NonIndependent[len(res.NonIndependent)-1] >= res.NonIndependent[0] {
+			t.Fatalf("no decay (global=%v): %v", global, res.NonIndependent)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package conc
+
+import (
+	"testing"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+func BenchmarkEdgeSetContains(b *testing.B) {
+	s := NewEdgeSet(1 << 16)
+	for i := uint32(0); i < 1<<15; i++ {
+		s.InsertUnique(edge(i, i+1<<16))
+	}
+	src := rng.NewSplitMix64(1)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		u := uint32(src.Uint64() & 0xFFFF)
+		if s.Contains(edge(u, u+1<<16)) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkEdgeSetInsertEraseUnique(b *testing.B) {
+	s := NewEdgeSet(1 << 16)
+	src := rng.NewSplitMix64(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := uint32(src.Uint64()&0xFFFF) + 1<<18
+		e := edge(u, u+1<<19)
+		s.InsertUnique(e)
+		s.EraseUnique(e)
+	}
+}
+
+func BenchmarkEdgeSetTicketCycle(b *testing.B) {
+	// The NaiveParES hot path: lock two, insert-lock two, commit.
+	s := NewEdgeSet(1 << 16)
+	for i := uint32(0); i < 1<<14; i++ {
+		s.InsertUnique(edge(i, i+1<<16))
+	}
+	src := rng.NewSplitMix64(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := uint32(src.Uint64() & 0x3FFF)
+		e := edge(u, u+1<<16)
+		if s.TryLock(e, 1) {
+			s.Unlock(e, 1)
+		}
+	}
+}
+
+func BenchmarkDepTableStoreLookup(b *testing.B) {
+	const n = 1 << 12
+	dt := NewDepTable(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dt.Reset(n, 1)
+		for k := 0; k < n; k++ {
+			dt.Store(k, 0, edge(uint32(2*k), uint32(2*k+1)), KindErase)
+			dt.Store(k, 2, edge(uint32(k%97), uint32(1000+k%97)), KindInsert)
+		}
+		for k := 0; k < n; k++ {
+			dt.EraseTuple(edge(uint32(2*k), uint32(2*k+1)))
+			dt.MinInsert(edge(uint32(k%97), uint32(1000+k%97)))
+		}
+	}
+	b.SetBytes(n * 4)
+}
+
+func BenchmarkBuildFrom(b *testing.B) {
+	var edges []graph.Edge
+	for i := uint32(0); i < 1<<15; i++ {
+		edges = append(edges, edge(i, i+1<<16))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewEdgeSet(len(edges))
+		s.BuildFrom(edges, 4)
+	}
+	b.SetBytes(int64(len(edges)) * 8)
+}

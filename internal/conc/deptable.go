@@ -1,0 +1,158 @@
+package conc
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Switch status values (the s_k of Algorithm 1).
+const (
+	StatusUndecided uint32 = iota
+	StatusLegal
+	StatusIllegal
+)
+
+// Tuple kinds (the t_{e,k} of Algorithm 1).
+const (
+	KindErase uint8 = iota
+	KindInsert
+)
+
+// DepTable is the concurrent dependency table T of Algorithm 1. For every
+// switch σ_k of a superstep it stores four tuples — (e1, k, erase),
+// (e2, k, erase), (e3, k, insert), (e4, k, insert) — indexed by edge, in
+// a lock-free chained hash table. All tuples of σ_k share the single
+// status word Status[k], so the "update" of Algorithm 1 (lines 32–33)
+// collapses into one atomic store.
+//
+// The arena is laid out deterministically: the tuples of switch k live at
+// positions 4k .. 4k+3, so phase 1 needs no allocation synchronization —
+// workers only contend on the bucket head CAS.
+type DepTable struct {
+	heads   []atomic.Int32 // bucket -> arena index of first entry, -1 if none
+	mask    uint64
+	keys    []uint64 // arena: edge key per tuple
+	meta    []uint32 // arena: switch index (31 bits) | kind (top bit)
+	next    []int32  // arena: chain link
+	Status  []atomic.Uint32
+	nSwitch int
+}
+
+const kindInsertBit = uint32(1) << 31
+
+// NewDepTable returns a table with room for maxSwitches switches per
+// superstep. The same table is reused across supersteps via Reset.
+func NewDepTable(maxSwitches int) *DepTable {
+	nb := 1 << uint(bits.Len(uint(maxSwitches*4)))
+	if nb < 16 {
+		nb = 16
+	}
+	t := &DepTable{
+		heads:  make([]atomic.Int32, nb),
+		mask:   uint64(nb - 1),
+		keys:   make([]uint64, 4*maxSwitches),
+		meta:   make([]uint32, 4*maxSwitches),
+		next:   make([]int32, 4*maxSwitches),
+		Status: make([]atomic.Uint32, maxSwitches),
+	}
+	for i := range t.heads {
+		t.heads[i].Store(-1)
+	}
+	return t
+}
+
+// Reset prepares the table for a superstep of nSwitches switches,
+// clearing bucket heads and statuses with workers goroutines.
+func (t *DepTable) Reset(nSwitches, workers int) {
+	if nSwitches > len(t.Status) {
+		panic("conc: DepTable capacity exceeded")
+	}
+	t.nSwitch = nSwitches
+	Blocks(len(t.heads), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.heads[i].Store(-1)
+		}
+	})
+	Blocks(nSwitches, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Status[i].Store(StatusUndecided)
+		}
+	})
+}
+
+// Key returns the edge key stored in arena position pos (tuple slot
+// 4k+s of switch k). Valid after the corresponding Store.
+func (t *DepTable) Key(pos int) uint64 { return t.keys[pos] }
+
+func (t *DepTable) bucket(e graph.Edge) uint64 {
+	return rng.Mix64(uint64(e)) & t.mask
+}
+
+// Store registers tuple slot (0..3) of switch k: an operation of the
+// given kind on edge e. Safe for concurrent use by distinct (k, slot)
+// pairs.
+func (t *DepTable) Store(k int, slot int, e graph.Edge, kind uint8) {
+	pos := int32(4*k + slot)
+	t.keys[pos] = uint64(e)
+	m := uint32(k)
+	if kind == KindInsert {
+		m |= kindInsertBit
+	}
+	t.meta[pos] = m
+	head := &t.heads[t.bucket(e)]
+	for {
+		old := head.Load()
+		t.next[pos] = old
+		if head.CompareAndSwap(old, pos) {
+			return
+		}
+	}
+}
+
+// EraseTuple returns the index of the switch that erases e in this
+// superstep, or ok=false if no switch sources e. By Observation 2 of the
+// paper there is at most one such switch.
+func (t *DepTable) EraseTuple(e graph.Edge) (idx int, ok bool) {
+	key := uint64(e)
+	for pos := t.heads[t.bucket(e)].Load(); pos >= 0; pos = t.next[pos] {
+		if t.keys[pos] == key && t.meta[pos]&kindInsertBit == 0 {
+			return int(t.meta[pos]), true
+		}
+	}
+	return 0, false
+}
+
+// MinInsert returns the smallest switch index q with an insert tuple for
+// e whose status is not illegal, together with its status, or ok=false
+// if there is no such tuple. This is the lookup_min of Algorithm 1.
+//
+// The scan is racy with concurrent status updates by design: a tuple
+// turning illegal mid-scan may still be reported, in which case the
+// caller re-examines the switch in the next round (the delay path),
+// which is always sound.
+func (t *DepTable) MinInsert(e graph.Edge) (q int, status uint32, ok bool) {
+	key := uint64(e)
+	best := -1
+	var bestStatus uint32
+	for pos := t.heads[t.bucket(e)].Load(); pos >= 0; pos = t.next[pos] {
+		if t.keys[pos] != key || t.meta[pos]&kindInsertBit == 0 {
+			continue
+		}
+		idx := int(t.meta[pos] &^ kindInsertBit)
+		st := t.Status[idx].Load()
+		if st == StatusIllegal {
+			continue
+		}
+		if best == -1 || idx < best {
+			best = idx
+			bestStatus = st
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestStatus, true
+}

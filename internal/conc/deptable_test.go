@@ -1,0 +1,111 @@
+package conc
+
+import "testing"
+
+func TestDepTableStoreLookup(t *testing.T) {
+	dt := NewDepTable(8)
+	dt.Reset(4, 1)
+
+	e := edge(1, 2)
+	f := edge(3, 4)
+	// Switch 0 erases e; switches 1 and 2 insert e; switch 3 inserts f.
+	dt.Store(0, 0, e, KindErase)
+	dt.Store(1, 2, e, KindInsert)
+	dt.Store(2, 2, e, KindInsert)
+	dt.Store(3, 2, f, KindInsert)
+
+	if p, ok := dt.EraseTuple(e); !ok || p != 0 {
+		t.Fatalf("EraseTuple(e) = %d, %v", p, ok)
+	}
+	if _, ok := dt.EraseTuple(f); ok {
+		t.Fatal("EraseTuple(f) found phantom eraser")
+	}
+	if q, st, ok := dt.MinInsert(e); !ok || q != 1 || st != StatusUndecided {
+		t.Fatalf("MinInsert(e) = %d, %d, %v", q, st, ok)
+	}
+	if q, _, ok := dt.MinInsert(f); !ok || q != 3 {
+		t.Fatalf("MinInsert(f) = %d, %v", q, ok)
+	}
+	if _, _, ok := dt.MinInsert(edge(9, 10)); ok {
+		t.Fatal("MinInsert of unknown edge found a tuple")
+	}
+}
+
+func TestDepTableMinInsertSkipsIllegal(t *testing.T) {
+	dt := NewDepTable(8)
+	dt.Reset(4, 1)
+	e := edge(5, 6)
+	dt.Store(0, 2, e, KindInsert)
+	dt.Store(1, 2, e, KindInsert)
+	dt.Store(2, 2, e, KindInsert)
+
+	dt.Status[0].Store(StatusIllegal)
+	if q, st, ok := dt.MinInsert(e); !ok || q != 1 || st != StatusUndecided {
+		t.Fatalf("MinInsert after illegal[0] = %d, %d, %v", q, st, ok)
+	}
+	dt.Status[1].Store(StatusLegal)
+	if q, st, ok := dt.MinInsert(e); !ok || q != 1 || st != StatusLegal {
+		t.Fatalf("MinInsert with legal[1] = %d, %d, %v", q, st, ok)
+	}
+	dt.Status[1].Store(StatusIllegal)
+	dt.Status[2].Store(StatusIllegal)
+	if _, _, ok := dt.MinInsert(e); ok {
+		t.Fatal("MinInsert found tuple though all inserters illegal")
+	}
+}
+
+func TestDepTableResetClears(t *testing.T) {
+	dt := NewDepTable(8)
+	dt.Reset(2, 1)
+	e := edge(1, 2)
+	dt.Store(0, 0, e, KindErase)
+	dt.Status[0].Store(StatusLegal)
+
+	dt.Reset(2, 2)
+	if _, ok := dt.EraseTuple(e); ok {
+		t.Fatal("tuple survived Reset")
+	}
+	if dt.Status[0].Load() != StatusUndecided {
+		t.Fatal("status survived Reset")
+	}
+}
+
+func TestDepTableConcurrentStore(t *testing.T) {
+	const nSwitches = 4096
+	dt := NewDepTable(nSwitches)
+	dt.Reset(nSwitches, 4)
+	// Every switch k stores four tuples; several switches share target
+	// edges to build long chains.
+	Blocks(nSwitches, 8, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dt.Store(k, 0, edge(uint32(2*k), uint32(2*k+1)), KindErase)
+			dt.Store(k, 1, edge(uint32(2*k+1), uint32(2*k+2)), KindErase)
+			dt.Store(k, 2, edge(uint32(k%7), uint32(100+k%7)), KindInsert)
+			dt.Store(k, 3, edge(uint32(k%5), uint32(200+k%5)), KindInsert)
+		}
+	})
+	// Every erase tuple must be findable.
+	for k := 0; k < nSwitches; k++ {
+		if p, ok := dt.EraseTuple(edge(uint32(2*k), uint32(2*k+1))); !ok || p != k {
+			t.Fatalf("lost erase tuple of switch %d (got %d, %v)", k, p, ok)
+		}
+	}
+	// The minimum inserter of each shared target must be the smallest k
+	// in its residue class.
+	for r := 0; r < 7; r++ {
+		q, _, ok := dt.MinInsert(edge(uint32(r), uint32(100+r)))
+		if !ok || q != r {
+			t.Fatalf("MinInsert residue %d = %d, %v", r, q, ok)
+		}
+	}
+}
+
+func TestDepTableCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset beyond capacity did not panic")
+		}
+	}()
+	dt := NewDepTable(2)
+	dt.Reset(3, 1)
+}

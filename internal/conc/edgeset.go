@@ -1,0 +1,282 @@
+package conc
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Bucket layout (§5.2 of the paper): 64-bit buckets, the low 56 bits hold
+// the packed edge (28 bits per endpoint), the high 8 bits hold a lock
+// byte (0 = unlocked, otherwise owner id + 1). Empty and tombstone are
+// sentinel values that cannot collide with a packed simple edge, because
+// a simple edge never has equal endpoints:
+//
+//	empty     = 0                  (packed loop {0,0})
+//	tombstone = 0x00FFFFFFFFFFFFFF (packed loop {2^28-1, 2^28-1})
+const (
+	bucketEmpty     = uint64(0)
+	bucketTombstone = uint64(0x00FFFFFFFFFFFFFF)
+	edgeMask        = uint64(0x00FFFFFFFFFFFFFF)
+	lockShift       = 56
+)
+
+// packEdge converts the canonical 64-bit edge encoding (32+32) into the
+// 56-bit bucket encoding (28+28). Node ids must be below 2^28
+// (graph.MaxNodes), which graph.New enforces.
+func packEdge(e graph.Edge) uint64 {
+	return uint64(e.U())<<28 | uint64(e.V())
+}
+
+// unpackEdge inverts packEdge without canonicalizing: the set is also
+// used for directed arcs (package digraph), whose orientation must be
+// preserved exactly as stored.
+func unpackEdge(b uint64) graph.Edge {
+	b &= edgeMask
+	return graph.Edge(uint64(b>>28)<<32 | b&(1<<28-1))
+}
+
+// EdgeSet is a fixed-capacity concurrent open-addressing hash set of
+// edges with linear probing and per-edge lock bytes. The capacity is
+// fixed at construction: edge switching preserves the edge count, so the
+// set never needs to grow mid-run. Deletions write tombstones; the unique
+// insert path may reuse them, and Compact rebuilds the table when
+// tombstones accumulate.
+//
+// Concurrency contract, by method:
+//
+//   - Contains is safe concurrently with everything except Compact.
+//   - InsertUnique/EraseUnique require that no two goroutines operate on
+//     the same edge concurrently (guaranteed inside a superstep: at most
+//     one legal inserter and one eraser per edge, Observation 2).
+//   - TryLock/TryInsertLock/Unlock/EraseLocked implement the ticket
+//     semantics of NaiveParES and are safe for arbitrary concurrency.
+//   - Compact requires external quiescence (superstep boundary).
+type EdgeSet struct {
+	buckets    []uint64
+	mask       uint64
+	size       atomic.Int64
+	tombstones atomic.Int64
+}
+
+// NewEdgeSet returns a set with room for capacity edges at load factor
+// <= 1/2 (the paper's configuration).
+func NewEdgeSet(capacity int) *EdgeSet {
+	nb := 1 << uint(bits.Len(uint(capacity*2)))
+	if nb < 16 {
+		nb = 16
+	}
+	return &EdgeSet{
+		buckets: make([]uint64, nb),
+		mask:    uint64(nb - 1),
+	}
+}
+
+// BuildFrom fills the set with the given distinct edges using workers
+// goroutines. It must not run concurrently with other operations.
+func (s *EdgeSet) BuildFrom(edges []graph.Edge, workers int) {
+	Blocks(len(edges), workers, func(_, lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			s.InsertUnique(e)
+		}
+	})
+}
+
+// Len returns the number of live edges.
+func (s *EdgeSet) Len() int { return int(s.size.Load()) }
+
+// Tombstones returns the current tombstone count.
+func (s *EdgeSet) Tombstones() int { return int(s.tombstones.Load()) }
+
+// Buckets returns the bucket count.
+func (s *EdgeSet) Buckets() int { return len(s.buckets) }
+
+func (s *EdgeSet) home(packed uint64) uint64 {
+	return rng.Mix64(packed) & s.mask
+}
+
+// Contains reports whether e is live in the set, ignoring lock bytes.
+func (s *EdgeSet) Contains(e graph.Edge) bool {
+	p := packEdge(e)
+	i := s.home(p)
+	for {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == bucketEmpty {
+			return false
+		}
+		if b&edgeMask == p {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// InsertUnique inserts e, which must be absent, with no other goroutine
+// concurrently inserting or erasing the same edge. Tombstone slots are
+// reused. Panics if the table is full (capacity misuse).
+func (s *EdgeSet) InsertUnique(e graph.Edge) {
+	p := packEdge(e)
+	i := s.home(p)
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == bucketEmpty {
+			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketEmpty, p) {
+				s.size.Add(1)
+				return
+			}
+			continue // slot raced away; re-examine it
+		}
+		if b == bucketTombstone {
+			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketTombstone, p) {
+				s.size.Add(1)
+				s.tombstones.Add(-1)
+				return
+			}
+			continue
+		}
+		i = (i + 1) & s.mask
+	}
+	panic("conc: EdgeSet full")
+}
+
+// EraseUnique removes e, which must be live and unlocked, with no other
+// goroutine concurrently operating on the same edge.
+func (s *EdgeSet) EraseUnique(e graph.Edge) {
+	p := packEdge(e)
+	i := s.home(p)
+	for {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == bucketEmpty {
+			panic("conc: EraseUnique of absent edge")
+		}
+		if b&edgeMask == p {
+			if !atomic.CompareAndSwapUint64(&s.buckets[i], p, bucketTombstone) {
+				panic("conc: EraseUnique raced (edge locked or contended)")
+			}
+			s.size.Add(-1)
+			s.tombstones.Add(1)
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// TryLock acquires the ticket for an existing unlocked edge by writing
+// owner+1 into its lock byte (compare-and-swap). It fails if the edge is
+// absent, locked, or contended.
+func (s *EdgeSet) TryLock(e graph.Edge, owner uint8) bool {
+	p := packEdge(e)
+	lockBits := uint64(owner+1) << lockShift
+	i := s.home(p)
+	for {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == bucketEmpty {
+			return false
+		}
+		if b&edgeMask == p {
+			if b>>lockShift != 0 {
+				return false // already locked
+			}
+			return atomic.CompareAndSwapUint64(&s.buckets[i], p, p|lockBits)
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// TryInsertLock inserts e in locked state if it is absent. It fails if e
+// is present (locked or not). Unlike InsertUnique it never reuses
+// tombstones: concurrent inserters of the same edge may race, and
+// claiming only empty chain tails guarantees at most one wins.
+func (s *EdgeSet) TryInsertLock(e graph.Edge, owner uint8) bool {
+	p := packEdge(e)
+	locked := p | uint64(owner+1)<<lockShift
+	i := s.home(p)
+	for probes := uint64(0); probes <= s.mask; probes++ {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b&edgeMask == p && b != bucketTombstone {
+			return false // exists (whoever holds it)
+		}
+		if b == bucketEmpty {
+			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketEmpty, locked) {
+				s.size.Add(1)
+				return true
+			}
+			continue // re-examine raced slot: may now hold p
+		}
+		i = (i + 1) & s.mask
+	}
+	panic("conc: EdgeSet full")
+}
+
+// Unlock releases a lock held by owner on live edge e.
+func (s *EdgeSet) Unlock(e graph.Edge, owner uint8) {
+	p := packEdge(e)
+	locked := p | uint64(owner+1)<<lockShift
+	i := s.home(p)
+	for {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == locked {
+			if !atomic.CompareAndSwapUint64(&s.buckets[i], locked, p) {
+				panic("conc: Unlock raced")
+			}
+			return
+		}
+		if b == bucketEmpty {
+			panic("conc: Unlock of absent edge")
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// EraseLocked removes edge e whose lock is held by owner.
+func (s *EdgeSet) EraseLocked(e graph.Edge, owner uint8) {
+	p := packEdge(e)
+	locked := p | uint64(owner+1)<<lockShift
+	i := s.home(p)
+	for {
+		b := atomic.LoadUint64(&s.buckets[i])
+		if b == locked {
+			if !atomic.CompareAndSwapUint64(&s.buckets[i], locked, bucketTombstone) {
+				panic("conc: EraseLocked raced")
+			}
+			s.size.Add(-1)
+			s.tombstones.Add(1)
+			return
+		}
+		if b == bucketEmpty {
+			panic("conc: EraseLocked of absent edge")
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// NeedsCompact reports whether tombstones occupy more than a quarter of
+// the table.
+func (s *EdgeSet) NeedsCompact() bool {
+	return s.tombstones.Load()*4 > int64(len(s.buckets))
+}
+
+// Compact rebuilds the table from the authoritative edge list, dropping
+// all tombstones. The caller must guarantee quiescence.
+func (s *EdgeSet) Compact(edges []graph.Edge, workers int) {
+	Blocks(len(s.buckets), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.buckets[i] = bucketEmpty
+		}
+	})
+	s.size.Store(0)
+	s.tombstones.Store(0)
+	s.BuildFrom(edges, workers)
+}
+
+// ForEach calls fn for every live edge. The caller must guarantee
+// quiescence.
+func (s *EdgeSet) ForEach(fn func(graph.Edge)) {
+	for _, b := range s.buckets {
+		if b != bucketEmpty && b != bucketTombstone {
+			fn(unpackEdge(b))
+		}
+	}
+}

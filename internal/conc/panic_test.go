@@ -1,0 +1,61 @@
+package conc
+
+import "testing"
+
+// Failure-injection tests: the concurrency contracts are enforced by
+// panics, which must actually fire on misuse rather than corrupt state
+// silently.
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestEraseUniqueAbsentPanics(t *testing.T) {
+	s := NewEdgeSet(8)
+	expectPanic(t, "EraseUnique of absent edge", func() {
+		s.EraseUnique(edge(1, 2))
+	})
+}
+
+func TestUnlockAbsentPanics(t *testing.T) {
+	s := NewEdgeSet(8)
+	expectPanic(t, "Unlock of absent edge", func() {
+		s.Unlock(edge(1, 2), 0)
+	})
+}
+
+func TestEraseLockedAbsentPanics(t *testing.T) {
+	s := NewEdgeSet(8)
+	expectPanic(t, "EraseLocked of absent edge", func() {
+		s.EraseLocked(edge(1, 2), 0)
+	})
+}
+
+func TestEdgeSetFullPanics(t *testing.T) {
+	s := NewEdgeSet(4) // 16 buckets
+	expectPanic(t, "insert beyond capacity", func() {
+		for i := uint32(0); i < 64; i++ {
+			s.InsertUnique(edge(i, i+100))
+		}
+	})
+}
+
+func TestEraseUniqueLockedPanics(t *testing.T) {
+	// EraseUnique requires the edge to be unlocked; a locked edge
+	// indicates interleaving unique-path and ticket-path operations.
+	s := NewEdgeSet(8)
+	e := edge(3, 4)
+	s.InsertUnique(e)
+	if !s.TryLock(e, 1) {
+		t.Fatal("lock failed")
+	}
+	expectPanic(t, "EraseUnique of locked edge", func() {
+		s.EraseUnique(e)
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sort"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// adjListES is the sequential adjacency-list ES-MC baseline standing in
+// for the external tools of Table 4 (see DESIGN.md): NetworKit-style
+// (unsorted neighborhoods, linear-scan existence checks) when sorted is
+// false, Gengraph-style (sorted neighborhoods, binary-search existence,
+// shift-maintained order) when sorted is true. Both run the identical
+// chain to SeqES, only on the slower data structure — which is exactly
+// the comparison the paper's Table 4 makes.
+func adjListES(g *graph.Graph, supersteps int, cfg Config, sorted bool) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	src := rng.NewMT19937(cfg.Seed)
+	E := g.Edges()
+
+	// Adjacency lists as Go slices per node.
+	n := g.N()
+	adj := make([][]graph.Node, n)
+	deg := g.Degrees()
+	for v := 0; v < n; v++ {
+		adj[v] = make([]graph.Node, 0, deg[v])
+	}
+	for _, e := range E {
+		adj[e.U()] = append(adj[e.U()], e.V())
+		adj[e.V()] = append(adj[e.V()], e.U())
+	}
+	if sorted {
+		for v := range adj {
+			sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		}
+	}
+
+	has := func(u, v graph.Node) bool {
+		// Query the smaller neighborhood.
+		if len(adj[u]) > len(adj[v]) {
+			u, v = v, u
+		}
+		nb := adj[u]
+		if sorted {
+			k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+			return k < len(nb) && nb[k] == v
+		}
+		for _, w := range nb {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	remove := func(u, v graph.Node) {
+		nb := adj[u]
+		if sorted {
+			k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+			copy(nb[k:], nb[k+1:])
+			adj[u] = nb[:len(nb)-1]
+			return
+		}
+		for i, w := range nb {
+			if w == v {
+				nb[i] = nb[len(nb)-1]
+				adj[u] = nb[:len(nb)-1]
+				return
+			}
+		}
+		panic("core: adjacency removal of absent edge")
+	}
+	insert := func(u, v graph.Node) {
+		if sorted {
+			nb := adj[u]
+			k := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+			nb = append(nb, 0)
+			copy(nb[k+1:], nb[k:])
+			nb[k] = v
+			adj[u] = nb
+			return
+		}
+		adj[u] = append(adj[u], v)
+	}
+
+	stats := &RunStats{}
+	total := int64(supersteps) * int64(m/2)
+	for a := int64(0); a < total; a++ {
+		i, j := rng.TwoDistinct(src, m)
+		e1, e2 := E[i], E[j]
+		t3, t4 := graph.SwitchTargets(e1, e2, rng.Bool(src))
+		if t3.IsLoop() || t4.IsLoop() || has(t3.U(), t3.V()) || has(t4.U(), t4.V()) {
+			continue
+		}
+		remove(e1.U(), e1.V())
+		remove(e1.V(), e1.U())
+		remove(e2.U(), e2.V())
+		remove(e2.V(), e2.U())
+		insert(t3.U(), t3.V())
+		insert(t3.V(), t3.U())
+		insert(t4.U(), t4.V())
+		insert(t4.V(), t4.U())
+		E[i], E[j] = t3, t4
+		stats.Legal++
+	}
+	stats.Attempted = total
+	return stats, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"gesmc/internal/conc"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// naiveParES is the simplistic parallel ES-MC baseline of §5.1: every
+// worker performs switches independently, synchronizing only through
+// per-edge tickets (lock bytes) in the concurrent hash set. Conflicting
+// attempts are rolled back and counted as rejections. The implementation
+// ignores dependencies between switches and therefore does NOT faithfully
+// implement ES-MC (the paper makes the same caveat); it exists as the
+// performance baseline of Table 4.
+func naiveParES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	w := cfg.workers()
+	if w > 254 {
+		w = 254 // owner ids must fit the 8-bit lock byte
+	}
+
+	// Edge array with atomic element access (racy reads by design).
+	E := make([]uint64, m)
+	for i, e := range g.Edges() {
+		E[i] = uint64(e)
+	}
+	set := conc.NewEdgeSet(2 * m)
+	set.BuildFrom(g.Edges(), w)
+
+	seeds := rng.PerWorkerSeeds(cfg.Seed, w)
+	stats := &RunStats{}
+	perStep := int64(m / 2)
+
+	for step := 0; step < supersteps; step++ {
+		legals := make([]int64, w)
+		conc.Run(w, func(worker int) {
+			// Decorrelate the (worker, step) streams through the full
+			// mixer: a plain additive stride equal to SplitMix64's
+			// gamma would make consecutive supersteps replay nearly
+			// the same stream.
+			src := rng.NewSplitMix64(rng.Mix64(seeds[worker] ^ (uint64(step)+1)*0xD1B54A32D192ED03))
+			owner := uint8(worker)
+			lo := perStep * int64(worker) / int64(w)
+			hi := perStep * int64(worker+1) / int64(w)
+			var legal int64
+			for a := lo; a < hi; a++ {
+				if naiveAttempt(E, set, m, owner, src) {
+					legal++
+				}
+			}
+			legals[worker] = legal
+		})
+		for _, l := range legals {
+			stats.Legal += l
+		}
+		stats.Attempted += perStep
+		// Quiescent point: drop accumulated tombstones if needed.
+		if set.NeedsCompact() {
+			edges := g.Edges()
+			for i := range edges {
+				edges[i] = graph.Edge(atomic.LoadUint64(&E[i]))
+			}
+			set.Compact(edges, w)
+		}
+	}
+
+	// Write the final state back to the graph.
+	edges := g.Edges()
+	for i := range edges {
+		edges[i] = graph.Edge(E[i])
+	}
+	return stats, nil
+}
+
+// naiveAttempt performs one optimistic switch: sample indices, read the
+// (possibly stale) edges, lock both sources, re-validate, insert-lock
+// both targets, and commit. Any failure unwinds and counts as rejection.
+func naiveAttempt(E []uint64, set *conc.EdgeSet, m int, owner uint8, src rng.Source) bool {
+	i, j := rng.TwoDistinct(src, m)
+	e1 := graph.Edge(atomic.LoadUint64(&E[i]))
+	e2 := graph.Edge(atomic.LoadUint64(&E[j]))
+	if e1 == e2 {
+		return false
+	}
+	t3, t4 := graph.SwitchTargets(e1, e2, rng.Bool(src))
+	if t3.IsLoop() || t4.IsLoop() {
+		return false
+	}
+
+	// Acquire tickets on the source edges.
+	if !set.TryLock(e1, owner) {
+		return false
+	}
+	if !set.TryLock(e2, owner) {
+		set.Unlock(e1, owner)
+		return false
+	}
+	// Re-validate the edge array: the reads above were racy.
+	if graph.Edge(atomic.LoadUint64(&E[i])) != e1 ||
+		graph.Edge(atomic.LoadUint64(&E[j])) != e2 {
+		set.Unlock(e2, owner)
+		set.Unlock(e1, owner)
+		return false
+	}
+	// Acquire tickets on the target edges by inserting them locked.
+	// Own-source targets fail here (they exist, locked by us), exactly
+	// like Definition 1's "already exists in E".
+	if !set.TryInsertLock(t3, owner) {
+		set.Unlock(e2, owner)
+		set.Unlock(e1, owner)
+		return false
+	}
+	if !set.TryInsertLock(t4, owner) {
+		set.EraseLocked(t3, owner)
+		set.Unlock(e2, owner)
+		set.Unlock(e1, owner)
+		return false
+	}
+
+	// Commit: rewire the array, drop the sources, publish the targets.
+	atomic.StoreUint64(&E[i], uint64(t3))
+	atomic.StoreUint64(&E[j], uint64(t4))
+	set.EraseLocked(e1, owner)
+	set.EraseLocked(e2, owner)
+	set.Unlock(t3, owner)
+	set.Unlock(t4, owner)
+	return true
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"gesmc/internal/gen"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// With a single worker there are no races and every ticket acquisition
+// succeeds, so NaiveParES degenerates to exact ES-MC (with different
+// randomness but the same chain) — its stationary distribution must be
+// uniform too.
+func TestNaiveParESUniformSingleWorker(t *testing.T) {
+	testUniformOverMatchings(t, AlgNaiveParES, 1, 3000, 20, 60)
+}
+
+// Under real concurrency NaiveParES is inexact but must still preserve
+// the hard invariants under stress: degrees, simplicity, and the
+// consistency between the edge array and the concurrent set.
+func TestNaiveParESStress(t *testing.T) {
+	src := rng.NewMT19937(909)
+	for _, build := range []func() *graph.Graph{
+		func() *graph.Graph { g, _ := gen.SynPldGraph(512, 2.05, src); return g },
+		func() *graph.Graph { return gen.GNP(256, 0.1, src) },
+		func() *graph.Graph { g, _ := gen.Regular(256, 6); return g },
+	} {
+		g := build()
+		if g == nil {
+			t.Fatal("workload generation failed")
+		}
+		want := g.Degrees()
+		stats, err := Run(g, AlgNaiveParES, 8, Config{Workers: 8, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.CheckSimple(); err != nil {
+			t.Fatal(err)
+		}
+		for v, d := range g.Degrees() {
+			if d != want[v] {
+				t.Fatalf("degree of %d changed", v)
+			}
+		}
+		if stats.Legal == 0 {
+			t.Fatal("nothing accepted under contention")
+		}
+	}
+}
+
+// The worker cap: owner ids must fit the 8-bit lock byte.
+func TestNaiveParESManyWorkers(t *testing.T) {
+	src := rng.NewMT19937(910)
+	g := gen.GNP(128, 0.2, src)
+	if _, err := Run(g, AlgNaiveParES, 2, Config{Workers: 1000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Acceptance-rate comparison: on the same graph, NaiveParES under
+// contention must accept at most as many switches as exact sequential
+// ES-MC accepts on average (conflicts only ever add rejections).
+func TestNaiveParESRejectsMoreThanExact(t *testing.T) {
+	src := rng.NewMT19937(911)
+	g := gen.GNP(128, 0.15, src)
+
+	exact, err := Run(g.Clone(), AlgSeqES, 10, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Run(g.Clone(), AlgNaiveParES, 10, Config{Workers: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactRate := float64(exact.Legal) / float64(exact.Attempted)
+	naiveRate := float64(naive.Legal) / float64(naive.Attempted)
+	if naiveRate > exactRate*1.05 {
+		t.Fatalf("naive acceptance %.3f implausibly above exact %.3f", naiveRate, exactRate)
+	}
+}

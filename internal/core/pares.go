@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"gesmc/internal/conc"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// FindCollisionFreePrefix returns the length t of the longest prefix of
+// switches such that no edge index occurs twice within switches[0:t]
+// — the superstep boundary search of Algorithm 2 (lines 8-15). The
+// returned prefix always contains at least one switch (a switch's own
+// two indices are distinct by construction).
+//
+// The scan parallelizes with a concurrent min-index table: every switch
+// publishes (index -> k) with CAS-min; the boundary is the smallest k
+// whose indices were first published by a smaller switch.
+func FindCollisionFreePrefix(switches []Switch, workers int, minIdx []int32) int {
+	n := len(switches)
+	if n <= 1 {
+		return n
+	}
+	// minIdx[i] = smallest switch position using edge index i, or -1.
+	casMin := func(slot *int32, k int32) {
+		for {
+			old := atomic.LoadInt32(slot)
+			if old != -1 && old <= k {
+				return
+			}
+			if atomic.CompareAndSwapInt32(slot, old, k) {
+				return
+			}
+		}
+	}
+	conc.Blocks(n, workers, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			casMin(&minIdx[switches[k].I], int32(k))
+			casMin(&minIdx[switches[k].J], int32(k))
+		}
+	})
+	// t = min k such that one of σ_k's indices was claimed by k' < k.
+	results := make([]int32, workers)
+	for i := range results {
+		results[i] = int32(n) // workers without a block contribute "no collision"
+	}
+	conc.Blocks(n, workers, func(w, lo, hi int) {
+		best := int32(n)
+		for k := lo; k < hi; k++ {
+			if int32(k) >= best {
+				break
+			}
+			if atomic.LoadInt32(&minIdx[switches[k].I]) < int32(k) ||
+				atomic.LoadInt32(&minIdx[switches[k].J]) < int32(k) {
+				best = int32(k)
+				break
+			}
+		}
+		results[w] = best
+	})
+	t := int32(n)
+	for _, b := range results {
+		if b < t {
+			t = b
+		}
+	}
+	return int(t)
+}
+
+// parES is the production ParES (Algorithm 2): pre-sample the full
+// switch sequence, then repeatedly locate the longest source-independent
+// prefix (expected length Θ(√m)) and execute it with ParallelSuperstep.
+func parES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	w := cfg.workers()
+	src := rng.NewMT19937(cfg.Seed)
+	total := int64(supersteps) * int64(m/2)
+
+	stats := &RunStats{}
+
+	// Window of pre-sampled switches; refilled as prefixes are consumed.
+	// Supersteps are bounded by the window, so the dependency table is
+	// sized to it (expected prefix length is Θ(√m), far below m/2).
+	window := 4 * isqrt(m)
+	if window < 256 {
+		window = 256
+	}
+	if int64(window) > total {
+		window = int(total)
+	}
+	if window > m/2 {
+		window = m / 2
+	}
+	runner := NewSuperstepRunner(g.Edges(), window, w)
+	runner.Pessimistic = cfg.PessimisticRounds
+	pending := make([]Switch, 0, window)
+	minIdx := make([]int32, m)
+	for i := range minIdx {
+		minIdx[i] = -1
+	}
+	var sampled int64
+
+	resetMinIdx := func(sw []Switch) {
+		for _, s := range sw {
+			minIdx[s.I] = -1
+			minIdx[s.J] = -1
+		}
+	}
+
+	for sampled < total || len(pending) > 0 {
+		// Refill the window.
+		for len(pending) < window && sampled < total {
+			i, j := rng.TwoDistinct(src, m)
+			pending = append(pending, Switch{I: uint32(i), J: uint32(j), G: rng.Bool(src)})
+			sampled++
+		}
+		t := FindCollisionFreePrefix(pending, w, minIdx)
+		resetMinIdx(pending)
+		runner.Run(pending[:t])
+		stats.Attempted += int64(t)
+		pending = pending[:copy(pending, pending[t:])]
+	}
+	runner.FlushStats(stats)
+	return stats, nil
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

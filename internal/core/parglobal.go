@@ -1,0 +1,55 @@
+package core
+
+import (
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// ExecuteGlobalParallel performs one global switch Γ = (π, ℓ) using the
+// given runner. A global switch has no source dependencies by definition
+// (each edge index occurs at most once in π), so it is exactly one
+// ParallelSuperstep (Algorithm 3).
+func ExecuteGlobalParallel(r *SuperstepRunner, perm []uint32, l int, buf []Switch) []Switch {
+	buf = GlobalSwitches(perm, l, buf)
+	r.Run(buf)
+	return buf
+}
+
+// parGlobalES is the production ParGlobalES (Algorithm 3): per
+// superstep, draw a parallel random permutation of the edge indices and
+// ℓ ~ Binom(⌊m/2⌋, 1−P_L), then run one ParallelSuperstep.
+func parGlobalES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	w := cfg.workers()
+	src := rng.NewMT19937(cfg.Seed)
+	seeds := rng.PerWorkerSeeds(cfg.Seed^0xA5A5A5A5A5A5A5A5, supersteps+1)
+	runner := NewSuperstepRunner(g.Edges(), m/2, w)
+	runner.Pessimistic = cfg.PessimisticRounds
+	buf := make([]Switch, 0, m/2)
+	pl := cfg.loopProb()
+	stats := &RunStats{}
+
+	for step := 0; step < supersteps; step++ {
+		perm := rng.ParallelPerm(seeds[step], m, w)
+		l := int(rng.BinomialComplementSmall(src, int64(m/2), pl))
+		buf = ExecuteGlobalParallel(runner, perm, l, buf)
+		stats.Attempted += int64(l)
+	}
+	runner.FlushStats(stats)
+	return stats, nil
+}
+
+// FlushStats copies the runner's accumulated instrumentation into stats.
+func (r *SuperstepRunner) FlushStats(stats *RunStats) {
+	stats.Legal += r.Legal
+	stats.InternalSupersteps += r.InternalSupersteps
+	stats.TotalRounds += r.TotalRounds
+	if r.MaxRounds > stats.MaxRounds {
+		stats.MaxRounds = r.MaxRounds
+	}
+	stats.FirstRoundTime += r.FirstRoundTime
+	stats.LaterRoundsTime += r.LaterRoundsTime
+}

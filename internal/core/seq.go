@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/hashset"
+	"gesmc/internal/rng"
+)
+
+// ErrTooSmall is returned for graphs with fewer than two edges, on which
+// no switch is defined.
+var ErrTooSmall = errors.New("core: graph has fewer than 2 edges")
+
+// ExecuteSequential performs the given switches in order on edge list E
+// with edge set S, exactly following Definition 1: a switch is rejected
+// iff a target is a loop or already exists in E (sources included). It
+// returns the number of accepted switches. It is the reference semantics
+// against which the parallel algorithms are verified.
+func ExecuteSequential(E []graph.Edge, S *hashset.Set, switches []Switch) int64 {
+	var legal int64
+	for _, sw := range switches {
+		e1 := E[sw.I]
+		e2 := E[sw.J]
+		t3, t4 := graph.SwitchTargets(e1, e2, sw.G)
+		if t3.IsLoop() || t4.IsLoop() {
+			continue
+		}
+		// Sources are still in S, so own-target switches (possible when
+		// e1 and e2 share a node) reject here, as do genuine conflicts.
+		if S.Contains(t3) || S.Contains(t4) {
+			continue
+		}
+		S.Erase(e1)
+		S.Erase(e2)
+		S.Insert(t3)
+		S.Insert(t4)
+		E[sw.I] = t3
+		E[sw.J] = t4
+		legal++
+	}
+	return legal
+}
+
+// pipelineDepth is the number of in-flight switches of the §5.4-style
+// software pipeline: targets and hash buckets of the next switches are
+// computed (and their buckets touched) ahead of execution.
+const pipelineDepth = 4
+
+// executeSequentialPrefetch is ExecuteSequential with the bucket
+// pre-touch pipeline enabled. Touching is only a memory hint — staleness
+// cannot affect correctness, exactly as with hardware prefetches.
+func executeSequentialPrefetch(E []graph.Edge, S *hashset.Set, switches []Switch) int64 {
+	var legal int64
+	n := len(switches)
+	for base := 0; base < n; base += pipelineDepth {
+		hi := base + pipelineDepth
+		if hi > n {
+			hi = n
+		}
+		// Stage 1: touch the buckets the upcoming switches will probe.
+		for k := base; k < hi; k++ {
+			sw := switches[k]
+			e1, e2 := E[sw.I], E[sw.J]
+			t3, t4 := graph.SwitchTargets(e1, e2, sw.G)
+			S.Touch(e1)
+			S.Touch(e2)
+			S.Touch(t3)
+			S.Touch(t4)
+		}
+		// Stage 2: run them for real.
+		legal += ExecuteSequential(E, S, switches[base:hi])
+	}
+	return legal
+}
+
+// seqES is the production sequential ES-MC: supersteps * floor(m/2)
+// uniformly random switches, executed per Definition 1 (§5's SeqES).
+func seqES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	src := rng.NewMT19937(cfg.Seed)
+	E := g.Edges()
+	S := hashset.FromEdges(E, 0.5)
+	stats := &RunStats{}
+	total := int64(supersteps) * int64(m/2)
+
+	if cfg.SampleViaBuckets {
+		return seqESBuckets(E, S, total, src, stats)
+	}
+
+	const chunk = 1 << 12
+	buf := make([]Switch, 0, chunk)
+	for done := int64(0); done < total; {
+		take := total - done
+		if take > chunk {
+			take = chunk
+		}
+		buf = buf[:take]
+		for k := range buf {
+			i, j := rng.TwoDistinct(src, m)
+			buf[k] = Switch{I: uint32(i), J: uint32(j), G: rng.Bool(src)}
+		}
+		if cfg.Prefetch {
+			stats.Legal += executeSequentialPrefetch(E, S, buf)
+		} else {
+			stats.Legal += ExecuteSequential(E, S, buf)
+		}
+		done += take
+	}
+	stats.Attempted = total
+	return stats, nil
+}
+
+// seqESBuckets runs ES-MC sampling the two edges directly from the hash
+// set by random-bucket probing (§5.3 second option). The chain is
+// equivalent: a switch is an unordered pair of distinct edges plus a
+// direction bit, independent of edge-list indexing; the edge array is
+// still maintained only implicitly via the set.
+func seqESBuckets(E []graph.Edge, S *hashset.Set, total int64, src rng.Source, stats *RunStats) (*RunStats, error) {
+	// Keep an index for final write-back: position of each edge in E.
+	pos := make(map[graph.Edge]int, len(E))
+	for i, e := range E {
+		pos[e] = i
+	}
+	for k := int64(0); k < total; k++ {
+		e1 := S.SampleBucket(src)
+		e2 := S.SampleBucket(src)
+		if e1 == e2 {
+			continue // resample counts as rejection (prob 1/m)
+		}
+		t3, t4 := graph.SwitchTargets(e1, e2, rng.Bool(src))
+		if t3.IsLoop() || t4.IsLoop() || S.Contains(t3) || S.Contains(t4) {
+			continue
+		}
+		S.Erase(e1)
+		S.Erase(e2)
+		S.Insert(t3)
+		S.Insert(t4)
+		i, j := pos[e1], pos[e2]
+		delete(pos, e1)
+		delete(pos, e2)
+		E[i], E[j] = t3, t4
+		pos[t3], pos[t4] = i, j
+		stats.Legal++
+	}
+	stats.Attempted = total
+	return stats, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"gesmc/internal/graph"
+	"gesmc/internal/hashset"
+	"gesmc/internal/rng"
+)
+
+// ExecuteGlobalSequential performs one global switch Γ = (π, ℓ) on the
+// edge list/set sequentially, per Definitions 1 and 3. Returns accepted
+// switch count.
+func ExecuteGlobalSequential(E []graph.Edge, S *hashset.Set, perm []uint32, l int, buf []Switch) (int64, []Switch) {
+	buf = GlobalSwitches(perm, l, buf)
+	return ExecuteSequential(E, S, buf), buf
+}
+
+// seqGlobalES is the production sequential G-ES-MC (§5's SeqGlobalES):
+// each superstep shuffles the edge indices, draws ℓ, and executes the
+// resulting switches in order.
+func seqGlobalES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	src := rng.NewMT19937(cfg.Seed)
+	E := g.Edges()
+	S := hashset.FromEdges(E, 0.5)
+	stats := &RunStats{}
+	buf := make([]Switch, 0, m/2)
+	pl := cfg.loopProb()
+
+	for step := 0; step < supersteps; step++ {
+		perm, l := SampleGlobalSwitch(m, pl, src)
+		buf = GlobalSwitches(perm, l, buf)
+		if cfg.Prefetch {
+			stats.Legal += executeSequentialPrefetch(E, S, buf)
+		} else {
+			stats.Legal += ExecuteSequential(E, S, buf)
+		}
+		stats.Attempted += int64(l)
+	}
+	return stats, nil
+}

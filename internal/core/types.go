@@ -1,0 +1,229 @@
+// Package core implements the switching Markov chains of the paper:
+//
+//   - SeqES: fast sequential ES-MC (Definition 1) on an edge array plus
+//     hash set (§5).
+//   - SeqGlobalES: sequential G-ES-MC (Definition 3).
+//   - NaiveParES: the inexact parallel baseline that only synchronizes
+//     concurrent accesses to individual edges (§5.1).
+//   - ParES: the exact parallelization of ES-MC (Algorithm 2).
+//   - ParGlobalES: the exact parallelization of G-ES-MC (Algorithm 3).
+//   - ParallelSuperstep (Algorithm 1), shared by ParES and ParGlobalES.
+//   - Adjacency-list sequential baselines standing in for NetworKit and
+//     Gengraph (see DESIGN.md).
+//
+// All implementations mutate the graph's edge list in place and preserve
+// both the degree sequence and simplicity. The parallel implementations
+// are exact: given the same switch sequence they produce bit-identical
+// edge lists to sequential Definition-1 execution (see superstep.go for
+// the one documented refinement over the paper's pseudocode).
+package core
+
+import (
+	"time"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Switch is one edge switch σ = (i, j, g): two edge-list indices and a
+// direction bit (Definition 1).
+type Switch struct {
+	I, J uint32
+	G    bool
+}
+
+// Algorithm selects a Markov chain implementation.
+type Algorithm int
+
+const (
+	// AlgSeqES is the sequential ES-MC implementation.
+	AlgSeqES Algorithm = iota
+	// AlgSeqGlobalES is the sequential G-ES-MC implementation.
+	AlgSeqGlobalES
+	// AlgNaiveParES is the inexact parallel ES-MC baseline.
+	AlgNaiveParES
+	// AlgParES is the exact parallel ES-MC (Algorithm 2).
+	AlgParES
+	// AlgParGlobalES is the exact parallel G-ES-MC (Algorithm 3).
+	AlgParGlobalES
+	// AlgAdjListES is the unsorted adjacency-list sequential baseline
+	// ("NetworKit-style").
+	AlgAdjListES
+	// AlgAdjSortES is the sorted adjacency-list sequential baseline
+	// ("Gengraph-style").
+	AlgAdjSortES
+)
+
+// String returns the implementation name used in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSeqES:
+		return "SeqES"
+	case AlgSeqGlobalES:
+		return "SeqGlobalES"
+	case AlgNaiveParES:
+		return "NaiveParES"
+	case AlgParES:
+		return "ParES"
+	case AlgParGlobalES:
+		return "ParGlobalES"
+	case AlgAdjListES:
+		return "AdjListES"
+	case AlgAdjSortES:
+		return "AdjSortES"
+	default:
+		return "unknown"
+	}
+}
+
+// IsGlobal reports whether the algorithm runs the G-ES-MC chain (one
+// global switch per superstep) rather than ES-MC.
+func (a Algorithm) IsGlobal() bool {
+	return a == AlgSeqGlobalES || a == AlgParGlobalES
+}
+
+// DefaultLoopProb is the default loop-rejection probability P_L of
+// G-ES-MC (Definition 3). It only needs to be strictly positive for
+// aperiodicity; a tiny value wastes almost no switches.
+const DefaultLoopProb = 1e-6
+
+// Config carries the common tuning knobs.
+type Config struct {
+	// Workers is the number of goroutines for parallel algorithms
+	// (P in the paper). Zero means 1.
+	Workers int
+	// Seed seeds all randomness; runs are deterministic per
+	// (algorithm, graph, seed, workers).
+	Seed uint64
+	// LoopProb is P_L of G-ES-MC. Zero selects DefaultLoopProb.
+	LoopProb float64
+	// Prefetch enables the software pipeline that pre-touches hash
+	// buckets (the Go analogue of §5.4's prefetch instructions).
+	Prefetch bool
+	// SampleViaBuckets switches SeqES edge sampling from the auxiliary
+	// edge array to random-bucket probing of the hash set (§5.3's
+	// memory/time trade-off).
+	SampleViaBuckets bool
+	// PessimisticRounds makes ParallelSuperstep publish decisions only
+	// at round barriers, simulating the worst-case scheduler analyzed
+	// in Theorems 2-3. Results are identical; only round counts change.
+	// Use for round-count experiments (Fig. 9) on machines where the
+	// natural scheduler resolves everything in one round.
+	PessimisticRounds bool
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c Config) loopProb() float64 {
+	if c.LoopProb <= 0 {
+		return DefaultLoopProb
+	}
+	return c.LoopProb
+}
+
+// RunStats aggregates what happened during a run.
+type RunStats struct {
+	Algorithm  Algorithm
+	Supersteps int   // supersteps performed (per paper's definition)
+	Attempted  int64 // switches attempted
+	Legal      int64 // switches accepted (graph modified)
+
+	// Parallel superstep instrumentation (Fig. 9):
+	InternalSupersteps int           // ParallelSuperstep invocations
+	TotalRounds        int64         // rounds across all supersteps
+	MaxRounds          int           // largest round count of any superstep
+	FirstRoundTime     time.Duration // time spent in first rounds
+	LaterRoundsTime    time.Duration // time spent in rounds 2+
+
+	Duration time.Duration
+}
+
+// RejectionRate returns the fraction of attempted switches rejected.
+func (s *RunStats) RejectionRate() float64 {
+	if s.Attempted == 0 {
+		return 0
+	}
+	return 1 - float64(s.Legal)/float64(s.Attempted)
+}
+
+// AvgRounds returns the mean rounds per ParallelSuperstep invocation.
+func (s *RunStats) AvgRounds() float64 {
+	if s.InternalSupersteps == 0 {
+		return 0
+	}
+	return float64(s.TotalRounds) / float64(s.InternalSupersteps)
+}
+
+// SampleSwitches draws r uniform ES-MC switches for a graph with m
+// edges: i != j uniform indices plus an unbiased direction bit.
+func SampleSwitches(m int, r int, src rng.Source) []Switch {
+	if m < 2 {
+		return nil
+	}
+	out := make([]Switch, r)
+	for k := range out {
+		i, j := rng.TwoDistinct(src, m)
+		out[k] = Switch{I: uint32(i), J: uint32(j), G: rng.Bool(src)}
+	}
+	return out
+}
+
+// GlobalSwitches converts a permutation prefix into the switch sequence
+// of a global switch Γ = (π, ℓ): σ_k = (π(2k−1), π(2k), 1_{π(2k−1)<π(2k)})
+// (Definition 3, 1-based; here 0-based pairs).
+func GlobalSwitches(perm []uint32, l int, buf []Switch) []Switch {
+	buf = buf[:0]
+	for k := 0; k < l; k++ {
+		i, j := perm[2*k], perm[2*k+1]
+		buf = append(buf, Switch{I: i, J: j, G: i < j})
+	}
+	return buf
+}
+
+// SampleGlobalSwitch draws a full global switch: a uniform permutation of
+// [m] and ℓ ~ Binom(⌊m/2⌋, 1−P_L).
+func SampleGlobalSwitch(m int, loopProb float64, src rng.Source) ([]uint32, int) {
+	perm := rng.Perm(src, m)
+	l := int(rng.BinomialComplementSmall(src, int64(m/2), loopProb))
+	return perm, l
+}
+
+// Run executes the selected algorithm for the given number of supersteps
+// (one superstep = ⌊m/2⌋ switch attempts for ES-MC chains, one global
+// switch for G-ES-MC chains, matching §6.1's normalization) and returns
+// statistics. The graph is randomized in place.
+func Run(g *graph.Graph, alg Algorithm, supersteps int, cfg Config) (*RunStats, error) {
+	start := time.Now()
+	var stats *RunStats
+	var err error
+	switch alg {
+	case AlgSeqES:
+		stats, err = seqES(g, supersteps, cfg)
+	case AlgSeqGlobalES:
+		stats, err = seqGlobalES(g, supersteps, cfg)
+	case AlgNaiveParES:
+		stats, err = naiveParES(g, supersteps, cfg)
+	case AlgParES:
+		stats, err = parES(g, supersteps, cfg)
+	case AlgParGlobalES:
+		stats, err = parGlobalES(g, supersteps, cfg)
+	case AlgAdjListES:
+		stats, err = adjListES(g, supersteps, cfg, false)
+	case AlgAdjSortES:
+		stats, err = adjListES(g, supersteps, cfg, true)
+	default:
+		panic("core: unknown algorithm")
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.Algorithm = alg
+	stats.Supersteps = supersteps
+	stats.Duration = time.Since(start)
+	return stats, nil
+}

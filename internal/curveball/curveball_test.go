@@ -1,0 +1,141 @@
+package curveball
+
+import (
+	"sort"
+	"testing"
+
+	"gesmc/internal/gen"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+func checkInvariants(t *testing.T, before, after *graph.Graph) {
+	t.Helper()
+	if err := after.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	a := before.Degrees()
+	b := after.Degrees()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("degree of %d changed: %d -> %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestTradePreservesInvariants(t *testing.T) {
+	src := rng.NewMT19937(1)
+	g := gen.GNP(64, 0.15, src)
+	s := NewState(g)
+	for i := 0; i < 500; i++ {
+		u, v := rng.TwoDistinct(src, g.N())
+		s.Trade(graph.Node(u), graph.Node(v), src)
+	}
+	checkInvariants(t, g, s.Graph())
+}
+
+func TestTradeFixedSharedNeighbors(t *testing.T) {
+	// Shared neighbors and the edge {u,v} itself must never move.
+	g, err := graph.FromPairs(5, [][2]graph.Node{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewMT19937(2)
+	s := NewState(g)
+	for i := 0; i < 50; i++ {
+		s.Trade(0, 1, src)
+		if !s.Contains(0, 1) {
+			t.Fatal("edge {0,1} vanished")
+		}
+		if !s.Contains(0, 2) || !s.Contains(1, 2) {
+			t.Fatal("shared neighbor 2 was traded")
+		}
+	}
+}
+
+func TestTradeReachesBothAssignments(t *testing.T) {
+	// u=0 with exclusive neighbor 3, v=1 with exclusive neighbor 4:
+	// trades must eventually realize both assignments.
+	base, err := graph.FromPairs(5, [][2]graph.Node{{0, 3}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewMT19937(3)
+	seen := map[string]bool{}
+	for trial := 0; trial < 200; trial++ {
+		s := NewState(base)
+		s.Trade(0, 1, src)
+		g := s.Graph()
+		edges := append([]graph.Edge(nil), g.Edges()...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		key := ""
+		for _, e := range edges {
+			key += e.String()
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("trades never moved the exclusive neighbors: %v", seen)
+	}
+}
+
+func TestGlobalTradeInvariants(t *testing.T) {
+	src := rng.NewMT19937(4)
+	g, err := gen.SynPldGraph(128, 2.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewState(g)
+	for i := 0; i < 20; i++ {
+		s.GlobalTrade(src)
+	}
+	checkInvariants(t, g, s.Graph())
+}
+
+func TestRunnersRandomize(t *testing.T) {
+	src := rng.NewMT19937(5)
+	g := gen.GNP(64, 0.2, src)
+	cb := RunCurveball(g, 500, 7)
+	checkInvariants(t, g, cb)
+	if graph.SameEdgeSet(g, cb) {
+		t.Fatal("Curveball left the graph unchanged")
+	}
+	gcb := RunGlobalCurveball(g, 10, 8)
+	checkInvariants(t, g, gcb)
+	if graph.SameEdgeSet(g, gcb) {
+		t.Fatal("Global Curveball left the graph unchanged")
+	}
+}
+
+func TestCurveballUniformOverMatchings(t *testing.T) {
+	// Same 15-state enumeration as the core chains: Curveball on the
+	// perfect matchings of K6 must also converge to uniform.
+	base, err := graph.FromPairs(6, [][2]graph.Node{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const runs = 3000
+	for r := 0; r < runs; r++ {
+		g := RunGlobalCurveball(base, 20, uint64(r)*2654435761+3)
+		edges := append([]graph.Edge(nil), g.Edges()...)
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		key := ""
+		for _, e := range edges {
+			key += e.String()
+		}
+		counts[key]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("reached %d of 15 states", len(counts))
+	}
+	expected := float64(runs) / 15
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	if x2 > 60 { // df = 14
+		t.Fatalf("chi-square %.1f too large", x2)
+	}
+}

@@ -1,0 +1,80 @@
+package digraph
+
+import (
+	"fmt"
+	"sort"
+
+	"gesmc/internal/graph"
+)
+
+// KleitmanWang materializes a simple directed graph with the prescribed
+// out- and in-degree sequences (Kleitman & Wang 1973, the directed
+// analogue of Havel-Hakimi). At each step one node's remaining in-degree
+// b_i is satisfied completely by drawing arcs from the nodes with
+// lexicographically largest residual pairs (out, in) — the tie-break on
+// the in-degree component is essential for the theorem to hold. Returns
+// an error if the bi-sequence is not digraphical.
+func KleitmanWang(out, in []int) (*DiGraph, error) {
+	n := len(out)
+	if len(in) != n {
+		return nil, fmt.Errorf("digraph: sequence lengths differ (%d vs %d)", len(out), n)
+	}
+	var sumOut, sumIn int64
+	for v := 0; v < n; v++ {
+		if out[v] < 0 || in[v] < 0 || out[v] >= n || in[v] >= n {
+			return nil, fmt.Errorf("digraph: degree out of range at node %d", v)
+		}
+		sumOut += int64(out[v])
+		sumIn += int64(in[v])
+	}
+	if sumOut != sumIn {
+		return nil, fmt.Errorf("digraph: out-degree sum %d != in-degree sum %d", sumOut, sumIn)
+	}
+
+	a := append([]int(nil), out...) // residual out-degrees
+	b := append([]int(nil), in...)  // residual in-degrees
+	arcs := make([]Arc, 0, sumOut)
+	order := make([]int, n)
+
+	for i := 0; i < n; i++ {
+		k := b[i]
+		if k == 0 {
+			continue
+		}
+		b[i] = 0
+		// Candidate sources, lexicographically largest (a_j, b_j) first.
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(x, y int) bool {
+			jx, jy := order[x], order[y]
+			if a[jx] != a[jy] {
+				return a[jx] > a[jy]
+			}
+			if b[jx] != b[jy] {
+				return b[jx] > b[jy]
+			}
+			return jx < jy
+		})
+		filled := 0
+		for _, j := range order {
+			if filled == k {
+				break
+			}
+			if j == i || a[j] == 0 {
+				continue
+			}
+			arcs = append(arcs, MakeArc(graph.Node(j), graph.Node(i)))
+			a[j]--
+			filled++
+		}
+		if filled < k {
+			return nil, fmt.Errorf("digraph: bi-sequence not digraphical (node %d short %d arcs)", i, k-filled)
+		}
+	}
+	g, err := New(n, arcs)
+	if err != nil {
+		return nil, fmt.Errorf("digraph: internal realization error: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,352 @@
+package digraph
+
+import (
+	"errors"
+	"time"
+
+	"gesmc/internal/conc"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Switch is one directed edge switch: two arc-list indices. Directed
+// switches need no direction bit (Definition 1 adapted; exchanging tails
+// instead of heads yields the same unordered pair of target arcs).
+type Switch struct {
+	I, J uint32
+}
+
+// ErrTooSmall is returned for digraphs with fewer than two arcs.
+var ErrTooSmall = errors.New("digraph: graph has fewer than 2 arcs")
+
+// ExecuteSequential performs the switches in order on arc list A with
+// membership set S (a map-backed set): a switch is rejected iff a target
+// arc is a loop or already exists. Reference semantics for the parallel
+// runner.
+func ExecuteSequential(A []Arc, S map[Arc]struct{}, switches []Switch) int64 {
+	var legal int64
+	for _, sw := range switches {
+		a1, a2 := A[sw.I], A[sw.J]
+		t1, t2 := SwitchTargets(a1, a2)
+		if t1.IsLoop() || t2.IsLoop() {
+			continue
+		}
+		if _, ok := S[t1]; ok {
+			continue
+		}
+		if _, ok := S[t2]; ok {
+			continue
+		}
+		delete(S, a1)
+		delete(S, a2)
+		S[t1] = struct{}{}
+		S[t2] = struct{}{}
+		A[sw.I] = t1
+		A[sw.J] = t2
+		legal++
+	}
+	return legal
+}
+
+// arcEdge reinterprets an arc as a conc key. Arcs pack (tail, head) in
+// 32+32 bits exactly like canonical edges pack (min, max); the conc
+// containers never canonicalize, so the reuse is sound as long as nodes
+// stay below 2^28 (checked at graph construction).
+func arcEdge(a Arc) graph.Edge { return graph.Edge(a) }
+
+// SuperstepRunner decides batches of source-independent directed
+// switches in parallel with the same round structure as the undirected
+// Algorithm 1: erase tuples for the two source arcs, insert tuples for
+// the two target arcs, delays on undecided earlier switches.
+type SuperstepRunner struct {
+	A       []Arc
+	Set     *conc.EdgeSet
+	table   *conc.DepTable
+	workers int
+
+	undecided []int32
+	delayed   [][]int32
+
+	InternalSupersteps int
+	TotalRounds        int64
+	MaxRounds          int
+	Legal              int64
+	FirstRoundTime     time.Duration
+	LaterRoundsTime    time.Duration
+}
+
+// NewSuperstepRunner prepares a runner over the arc list A.
+func NewSuperstepRunner(A []Arc, maxSwitches, workers int) *SuperstepRunner {
+	if workers < 1 {
+		workers = 1
+	}
+	set := conc.NewEdgeSet(len(A) * 2)
+	conc.Blocks(len(A), workers, func(_, lo, hi int) {
+		for _, a := range A[lo:hi] {
+			set.InsertUnique(arcEdge(a))
+		}
+	})
+	return &SuperstepRunner{
+		A:       A,
+		Set:     set,
+		table:   conc.NewDepTable(maxSwitches),
+		workers: workers,
+		delayed: make([][]int32, workers),
+	}
+}
+
+// Run performs one superstep of switches without source dependencies.
+func (r *SuperstepRunner) Run(switches []Switch) {
+	n := len(switches)
+	if n == 0 {
+		return
+	}
+	w := r.workers
+	t := r.table
+	t.Reset(n, w)
+
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			sw := switches[k]
+			a1, a2 := r.A[sw.I], r.A[sw.J]
+			t1, t2 := SwitchTargets(a1, a2)
+			t.Store(k, 0, arcEdge(a1), conc.KindErase)
+			t.Store(k, 1, arcEdge(a2), conc.KindErase)
+			t.Store(k, 2, arcEdge(t1), conc.KindInsert)
+			t.Store(k, 3, arcEdge(t2), conc.KindInsert)
+		}
+	})
+
+	undecided := r.undecided[:0]
+	for k := 0; k < n; k++ {
+		undecided = append(undecided, int32(k))
+	}
+	rounds := 0
+	var legalCount int64
+	for len(undecided) > 0 {
+		roundStart := time.Now()
+		rounds++
+		for i := range r.delayed {
+			r.delayed[i] = r.delayed[i][:0]
+		}
+		legals := make([]int64, w)
+		conc.Blocks(len(undecided), w, func(worker, lo, hi int) {
+			for _, k := range undecided[lo:hi] {
+				st := r.decide(switches[k], int(k))
+				switch st {
+				case conc.StatusLegal:
+					legals[worker]++
+				case conc.StatusUndecided:
+					r.delayed[worker] = append(r.delayed[worker], k)
+				}
+				if st != conc.StatusUndecided {
+					t.Status[int(k)].Store(st)
+				}
+			}
+		})
+		for _, l := range legals {
+			legalCount += l
+		}
+		undecided = undecided[:0]
+		for _, d := range r.delayed {
+			undecided = append(undecided, d...)
+		}
+		if rounds == 1 {
+			r.FirstRoundTime += time.Since(roundStart)
+		} else {
+			r.LaterRoundsTime += time.Since(roundStart)
+		}
+	}
+	r.undecided = undecided
+
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if t.Status[k].Load() != conc.StatusLegal {
+				continue
+			}
+			base := 4 * k
+			r.Set.EraseUnique(graph.Edge(t.Key(base)))
+			r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
+		}
+	})
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if t.Status[k].Load() != conc.StatusLegal {
+				continue
+			}
+			base := 4 * k
+			r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
+			r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
+		}
+	})
+	if r.Set.NeedsCompact() {
+		edges := make([]graph.Edge, len(r.A))
+		for i, a := range r.A {
+			edges[i] = arcEdge(a)
+		}
+		r.Set.Compact(edges, w)
+	}
+
+	r.Legal += legalCount
+	r.InternalSupersteps++
+	r.TotalRounds += int64(rounds)
+	if rounds > r.MaxRounds {
+		r.MaxRounds = rounds
+	}
+}
+
+func (r *SuperstepRunner) decide(sw Switch, k int) uint32 {
+	t := r.table
+	base := 4 * k
+	a1 := Arc(t.Key(base))
+	a2 := Arc(t.Key(base + 1))
+	t1 := Arc(t.Key(base + 2))
+	t2 := Arc(t.Key(base + 3))
+
+	st := conc.StatusLegal
+	if t1.IsLoop() || t2.IsLoop() || a1 == a2 ||
+		t1 == a1 || t1 == a2 || t2 == a1 || t2 == a2 {
+		st = conc.StatusIllegal
+	} else {
+		delay := false
+		for _, target := range [2]Arc{t1, t2} {
+			key := arcEdge(target)
+			if p, ok := t.EraseTuple(key); ok {
+				if k < p {
+					st = conc.StatusIllegal
+					break
+				}
+				switch t.Status[p].Load() {
+				case conc.StatusIllegal:
+					st = conc.StatusIllegal
+				case conc.StatusUndecided:
+					delay = true
+				}
+				if st == conc.StatusIllegal {
+					break
+				}
+			} else if r.Set.Contains(key) {
+				st = conc.StatusIllegal
+				break
+			}
+			if q, sq, ok := t.MinInsert(key); ok && q < k {
+				if sq == conc.StatusLegal {
+					st = conc.StatusIllegal
+					break
+				}
+				if sq == conc.StatusUndecided {
+					delay = true
+				}
+			}
+		}
+		if st != conc.StatusIllegal && delay {
+			return conc.StatusUndecided
+		}
+	}
+	if st == conc.StatusLegal {
+		r.A[sw.I] = t1
+		r.A[sw.J] = t2
+	}
+	return st
+}
+
+// GlobalSwitches pairs a permutation prefix into directed switches.
+func GlobalSwitches(perm []uint32, l int, buf []Switch) []Switch {
+	buf = buf[:0]
+	for k := 0; k < l; k++ {
+		buf = append(buf, Switch{I: perm[2*k], J: perm[2*k+1]})
+	}
+	return buf
+}
+
+// RunStats reports a directed randomization run.
+type RunStats struct {
+	Supersteps int
+	Attempted  int64
+	Legal      int64
+	AvgRounds  float64
+	MaxRounds  int
+	Duration   time.Duration
+}
+
+// ParGlobalES runs the directed G-ES-MC in parallel: per superstep a
+// parallel random permutation pairs all arcs, ℓ ~ Binom(⌊m/2⌋, 1−P_L)
+// switches execute as one parallel superstep.
+func ParGlobalES(g *DiGraph, supersteps, workers int, loopProb float64, seed uint64) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	if loopProb <= 0 {
+		loopProb = 1e-6
+	}
+	start := time.Now()
+	src := rng.NewMT19937(seed)
+	seeds := rng.PerWorkerSeeds(seed^0x5DEECE66D, supersteps+1)
+	r := NewSuperstepRunner(g.Arcs(), m/2, workers)
+	var buf []Switch
+	stats := &RunStats{Supersteps: supersteps}
+	for step := 0; step < supersteps; step++ {
+		perm := rng.ParallelPerm(seeds[step], m, workers)
+		l := int(rng.BinomialComplementSmall(src, int64(m/2), loopProb))
+		buf = GlobalSwitches(perm, l, buf)
+		r.Run(buf)
+		stats.Attempted += int64(l)
+	}
+	stats.Legal = r.Legal
+	if r.InternalSupersteps > 0 {
+		stats.AvgRounds = float64(r.TotalRounds) / float64(r.InternalSupersteps)
+	}
+	stats.MaxRounds = r.MaxRounds
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// SeqGlobalES is the sequential directed G-ES-MC reference.
+func SeqGlobalES(g *DiGraph, supersteps int, loopProb float64, seed uint64) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	if loopProb <= 0 {
+		loopProb = 1e-6
+	}
+	start := time.Now()
+	src := rng.NewMT19937(seed)
+	A := g.Arcs()
+	S := g.ArcSet()
+	var buf []Switch
+	stats := &RunStats{Supersteps: supersteps}
+	for step := 0; step < supersteps; step++ {
+		perm := rng.Perm(src, m)
+		l := int(rng.BinomialComplementSmall(src, int64(m/2), loopProb))
+		buf = GlobalSwitches(perm, l, buf)
+		stats.Legal += ExecuteSequential(A, S, buf)
+		stats.Attempted += int64(l)
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// SeqES is the sequential directed ES-MC: supersteps × ⌊m/2⌋ uniform
+// switches.
+func SeqES(g *DiGraph, supersteps int, seed uint64) (*RunStats, error) {
+	m := g.M()
+	if m < 2 {
+		return nil, ErrTooSmall
+	}
+	start := time.Now()
+	src := rng.NewMT19937(seed)
+	A := g.Arcs()
+	S := g.ArcSet()
+	total := int64(supersteps) * int64(m/2)
+	stats := &RunStats{Supersteps: supersteps, Attempted: total}
+	one := make([]Switch, 1)
+	for a := int64(0); a < total; a++ {
+		i, j := rng.TwoDistinct(src, m)
+		one[0] = Switch{I: uint32(i), J: uint32(j)}
+		stats.Legal += ExecuteSequential(A, S, one)
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}

@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"testing"
+
+	"gesmc/internal/rng"
+)
+
+func BenchmarkGNP(b *testing.B) {
+	src := rng.NewMT19937(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := GNP(1<<16, 8.0/float64(1<<16), src)
+		if g.M() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkPowerLawSequence(b *testing.B) {
+	src := rng.NewMT19937(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SynPldSequence(1<<16, 2.2, src)
+	}
+}
+
+func BenchmarkHavelHakimi(b *testing.B) {
+	src := rng.NewMT19937(3)
+	seq := SynPldSequence(1<<14, 2.3, src)
+	if !ErdosGallai(seq) {
+		b.Skip("sampled sequence not graphical")
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := HavelHakimi(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErdosGallai(b *testing.B) {
+	src := rng.NewMT19937(4)
+	seq := SynPldSequence(1<<16, 2.2, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ErdosGallai(seq)
+	}
+}

@@ -1,0 +1,94 @@
+// Package gen generates the input graphs of the paper's evaluation:
+// G(n,p) Gilbert graphs (SynGnp), power-law degree sequences realized by
+// Havel-Hakimi (SynPld), regular and grid graphs for controlled
+// experiments, and a synthetic corpus standing in for the network
+// repository dataset (NetRep); see DESIGN.md for the substitution
+// rationale.
+package gen
+
+import (
+	"math"
+
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// GNP samples a G(n, p) graph — every possible edge present
+// independently with probability p — in expected O(n + m) time using
+// geometric gap skipping over the lexicographic edge enumeration.
+func GNP(n int, p float64, src rng.Source) *graph.Graph {
+	if n < 0 || n > graph.MaxNodes {
+		panic("gen: GNP node count out of range")
+	}
+	if p < 0 || p > 1 {
+		panic("gen: GNP probability out of range")
+	}
+	total := int64(n) * int64(n-1) / 2
+	if p == 0 || total == 0 {
+		return graph.NewUnchecked(n, nil)
+	}
+	var edges []graph.Edge
+	if p == 1 {
+		edges = make([]graph.Edge, 0, total)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, graph.MakeEdge(graph.Node(u), graph.Node(v)))
+			}
+		}
+		return graph.NewUnchecked(n, edges)
+	}
+
+	edges = make([]graph.Edge, 0, int(float64(total)*p*1.1)+16)
+	logq := math.Log1p(-p)
+	pos := int64(-1)
+	for {
+		u := rng.Float64(src)
+		skip := int64(math.Log1p(-u)/logq) + 1
+		if skip <= 0 { // extreme p close to 1: guard against overflow
+			skip = 1
+		}
+		pos += skip
+		if pos >= total {
+			break
+		}
+		u32, v32 := pairFromIndex(pos, n)
+		edges = append(edges, graph.MakeEdge(u32, v32))
+	}
+	return graph.NewUnchecked(n, edges)
+}
+
+// pairFromIndex maps a lexicographic index in [0, C(n,2)) to the pair
+// (u, v) with u < v. Row u starts at offset u*n - u*(u+1)/2 - u... we
+// solve the quadratic directly and fix up rounding.
+func pairFromIndex(idx int64, n int) (graph.Node, graph.Node) {
+	nf := float64(n)
+	// Solve idx >= rowStart(u) where rowStart(u) = u*(2n-u-1)/2.
+	u := int64((2*nf - 1 - math.Sqrt((2*nf-1)*(2*nf-1)-8*float64(idx))) / 2)
+	if u < 0 {
+		u = 0
+	}
+	rowStart := func(u int64) int64 { return u * (2*int64(n) - u - 1) / 2 }
+	for u > 0 && rowStart(u) > idx {
+		u--
+	}
+	for rowStart(u+1) <= idx {
+		u++
+	}
+	v := u + 1 + (idx - rowStart(u))
+	return graph.Node(u), graph.Node(v)
+}
+
+// GNPWithEdges returns a G(n,p)-like graph with approximately m edges by
+// setting p = m / C(n,2). It is the workload of Figure 7 (fixed edge
+// budget, varying average degree).
+func GNPWithEdges(n int, m int, src rng.Source) *graph.Graph {
+	total := float64(n) * float64(n-1) / 2
+	if total <= 0 {
+		return graph.NewUnchecked(n, nil)
+	}
+	p := float64(m) / total
+	if p > 1 {
+		p = 1
+	}
+	return GNP(n, p, src)
+}

@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gesmc/internal/graph"
+)
+
+// ErrNotGraphical is returned when no simple graph realizes the degree
+// sequence.
+var ErrNotGraphical = errors.New("gen: degree sequence is not graphical")
+
+// ErdosGallai reports whether the degree sequence is graphical, using the
+// Erdős–Gallai characterization: the sum must be even and for every k,
+// sum of the k largest degrees <= k(k-1) + sum_{i>k} min(d_i, k).
+func ErdosGallai(degrees []int) bool {
+	n := len(degrees)
+	d := make([]int, n)
+	copy(d, degrees)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+
+	var sum int64
+	for _, v := range d {
+		if v < 0 || v >= n {
+			return false // degrees must lie in [0, n-1]
+		}
+		sum += int64(v)
+	}
+	if sum%2 != 0 {
+		return false
+	}
+	// Prefix sums and the standard O(n) evaluation with a pointer for
+	// the min(d_i, k) split.
+	prefix := make([]int64, n+1)
+	for i, v := range d {
+		prefix[i+1] = prefix[i] + int64(v)
+	}
+	for k := 1; k <= n; k++ {
+		lhs := prefix[k]
+		rhs := int64(k) * int64(k-1)
+		// Split the tail at the first index i >= k with d[i] <= k.
+		split := sort.Search(n-k, func(i int) bool { return d[k+i] <= k }) + k
+		rhs += int64(split-k) * int64(k)
+		rhs += prefix[n] - prefix[split]
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// hhNode is a heap element: a node with its residual degree.
+type hhNode struct {
+	deg  int
+	node graph.Node
+}
+
+type hhHeap []hhNode
+
+func (h hhHeap) Len() int { return len(h) }
+func (h hhHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg > h[j].deg // max-heap by residual degree
+	}
+	return h[i].node < h[j].node
+}
+func (h hhHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *hhHeap) push(x hhNode) {
+	*h = append(*h, x)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *hhHeap) pop() hhNode {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(*h) && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r < len(*h) && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+	return top
+}
+
+// HavelHakimi materializes a simple graph with exactly the prescribed
+// degrees (the deterministic generator of Havel 1955 / Hakimi 1962, used
+// by the paper to realize SynPld sequences). It returns ErrNotGraphical
+// if the sequence cannot be realized.
+func HavelHakimi(degrees []int) (*graph.Graph, error) {
+	n := len(degrees)
+	if n > graph.MaxNodes {
+		return nil, fmt.Errorf("gen: %d nodes exceed the 2^28 limit", n)
+	}
+	var m int64
+	h := make(hhHeap, 0, n)
+	for v, d := range degrees {
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("%w: degree %d at node %d out of range", ErrNotGraphical, d, v)
+		}
+		m += int64(d)
+		if d > 0 {
+			h.push(hhNode{deg: d, node: graph.Node(v)})
+		}
+	}
+	if m%2 != 0 {
+		return nil, fmt.Errorf("%w: odd degree sum", ErrNotGraphical)
+	}
+	m /= 2
+
+	edges := make([]graph.Edge, 0, m)
+	targets := make([]hhNode, 0, 64)
+	for len(h) > 0 {
+		v := h.pop()
+		if v.deg > len(h) {
+			return nil, fmt.Errorf("%w: node %d needs %d neighbors, %d available",
+				ErrNotGraphical, v.node, v.deg, len(h))
+		}
+		targets = targets[:0]
+		for i := 0; i < v.deg; i++ {
+			targets = append(targets, h.pop())
+		}
+		for _, t := range targets {
+			edges = append(edges, graph.MakeEdge(v.node, t.node))
+			if t.deg > 1 {
+				h.push(hhNode{deg: t.deg - 1, node: t.node})
+			}
+		}
+	}
+	return graph.NewUnchecked(n, edges), nil
+}
+
+// GraphFromSequence realizes a degree sequence, first validating it with
+// Erdős–Gallai so callers get a fast, precise error for non-graphical
+// input.
+func GraphFromSequence(degrees []int) (*graph.Graph, error) {
+	if !ErdosGallai(degrees) {
+		return nil, ErrNotGraphical
+	}
+	return HavelHakimi(degrees)
+}

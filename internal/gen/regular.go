@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"fmt"
+
+	"gesmc/internal/graph"
+)
+
+// Circulant returns the circulant graph on n nodes where every node v is
+// adjacent to v±s (mod n) for each offset s in offsets. With distinct
+// offsets 1 <= s <= n/2 this yields a regular graph; it is the
+// deterministic d-regular workload of the round-count experiments
+// (Corollary 2: regular graphs need O(1) rounds).
+func Circulant(n int, offsets []int) (*graph.Graph, error) {
+	if n < 2 {
+		return graph.NewUnchecked(n, nil), nil
+	}
+	seen := map[graph.Edge]struct{}{}
+	var edges []graph.Edge
+	for _, s := range offsets {
+		if s < 1 || s > n/2 {
+			return nil, fmt.Errorf("gen: circulant offset %d out of range [1, %d]", s, n/2)
+		}
+		for v := 0; v < n; v++ {
+			w := (v + s) % n
+			if v == w {
+				continue
+			}
+			e := graph.MakeEdge(graph.Node(v), graph.Node(w))
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			edges = append(edges, e)
+		}
+	}
+	return graph.NewUnchecked(n, edges), nil
+}
+
+// Regular returns a d-regular graph on n nodes built from the circulant
+// construction (offsets 1..d/2, plus the antipodal matching when d is
+// odd, requiring even n).
+func Regular(n, d int) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: degree %d impossible on %d nodes", d, n)
+	}
+	if (n*d)%2 != 0 {
+		return nil, fmt.Errorf("gen: no %d-regular graph on %d nodes (odd product)", d, n)
+	}
+	offsets := make([]int, 0, d/2+1)
+	for s := 1; s <= d/2; s++ {
+		offsets = append(offsets, s)
+	}
+	if d%2 == 1 {
+		offsets = append(offsets, n/2) // antipodal perfect matching
+	}
+	g, err := Circulant(n, offsets)
+	if err != nil {
+		return nil, err
+	}
+	// The construction can silently merge offsets on tiny n; verify.
+	for v, deg := range g.Degrees() {
+		if deg != d {
+			return nil, fmt.Errorf("gen: circulant degree %d at node %d, want %d (n too small for d)", deg, v, d)
+		}
+	}
+	return g, nil
+}
+
+// Grid2D returns the rows x cols grid graph (each node adjacent to its
+// horizontal and vertical neighbors) — the road-network-like workload of
+// the corpus (low, near-uniform degree, huge diameter).
+func Grid2D(rows, cols int) *graph.Graph {
+	n := rows * cols
+	edges := make([]graph.Edge, 0, 2*n)
+	id := func(r, c int) graph.Node { return graph.Node(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.MakeEdge(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.MakeEdge(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return graph.NewUnchecked(n, edges)
+}

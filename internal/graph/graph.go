@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph stored as an indexed edge list, the
+// representation manipulated by all switching Markov chains (E[i] in the
+// paper's notation). The edge list order is significant: switches address
+// edges by index.
+type Graph struct {
+	n     int
+	edges []Edge
+}
+
+// ErrNotSimple is returned when an edge list contains loops or duplicate
+// edges.
+var ErrNotSimple = errors.New("graph: edge list is not simple")
+
+// New builds a graph with n nodes from the given canonical edges. It
+// validates simplicity (no loops, no multi-edges) and node bounds. The
+// slice is retained by the graph.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 || n > MaxNodes {
+		return nil, fmt.Errorf("graph: node count %d out of range [0, 2^28]", n)
+	}
+	seen := make(map[Edge]struct{}, len(edges))
+	for _, e := range edges {
+		u, v := e.Endpoints()
+		if u > v {
+			return nil, fmt.Errorf("graph: edge %v not canonical", e)
+		}
+		if int(v) >= n {
+			return nil, fmt.Errorf("graph: edge %v references node >= n=%d", e, n)
+		}
+		if e.IsLoop() {
+			return nil, fmt.Errorf("%w: loop %v", ErrNotSimple, e)
+		}
+		if _, dup := seen[e]; dup {
+			return nil, fmt.Errorf("%w: duplicate edge %v", ErrNotSimple, e)
+		}
+		seen[e] = struct{}{}
+	}
+	return &Graph{n: n, edges: edges}, nil
+}
+
+// FromPairs builds a graph from (u, v) pairs, canonicalizing each pair.
+func FromPairs(n int, pairs [][2]Node) (*Graph, error) {
+	edges := make([]Edge, len(pairs))
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			return nil, fmt.Errorf("%w: loop at node %d", ErrNotSimple, p[0])
+		}
+		edges[i] = MakeEdge(p[0], p[1])
+	}
+	return New(n, edges)
+}
+
+// NewUnchecked builds a graph without validation. It is intended for
+// generators that construct simple edge lists by design; tests assert the
+// invariant separately.
+func NewUnchecked(n int, edges []Edge) *Graph {
+	return &Graph{n: n, edges: edges}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Edges exposes the internal edge list. Switching algorithms mutate it in
+// place; other callers must treat it as read-only.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Edge returns the i-th edge.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	e := make([]Edge, len(g.edges))
+	copy(e, g.edges)
+	return &Graph{n: g.n, edges: e}
+}
+
+// Degrees returns the degree sequence indexed by node.
+func (g *Graph) Degrees() []int {
+	deg := make([]int, g.n)
+	for _, e := range g.edges {
+		deg[e.U()]++
+		deg[e.V()]++
+	}
+	return deg
+}
+
+// MaxDegree returns the largest degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, d := range g.Degrees() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AverageDegree returns 2m/n, or 0 for an empty node set.
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// Density returns m / C(n,2).
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(len(g.edges)) / (float64(g.n) * float64(g.n-1) / 2)
+}
+
+// CheckSimple verifies the simplicity invariant, returning a descriptive
+// error on the first violation. It is O(m) time and memory.
+func (g *Graph) CheckSimple() error {
+	seen := make(map[Edge]struct{}, len(g.edges))
+	for i, e := range g.edges {
+		if e.IsLoop() {
+			return fmt.Errorf("%w: loop %v at index %d", ErrNotSimple, e, i)
+		}
+		if int(e.V()) >= g.n {
+			return fmt.Errorf("graph: edge %v at index %d out of node range", e, i)
+		}
+		if _, dup := seen[e]; dup {
+			return fmt.Errorf("%w: duplicate edge %v at index %d", ErrNotSimple, e, i)
+		}
+		seen[e] = struct{}{}
+	}
+	return nil
+}
+
+// EdgeSet returns the set of edges as a map, independent of list order.
+func (g *Graph) EdgeSet() map[Edge]struct{} {
+	s := make(map[Edge]struct{}, len(g.edges))
+	for _, e := range g.edges {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// SameEdgeSet reports whether two graphs contain exactly the same edges,
+// ignoring edge-list order.
+func SameEdgeSet(a, b *Graph) bool {
+	if a.M() != b.M() {
+		return false
+	}
+	set := a.EdgeSet()
+	for _, e := range b.edges {
+		if _, ok := set[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CanonicalKey returns a deterministic string key identifying the graph's
+// edge set (used to count state visits in uniformity tests).
+func (g *Graph) CanonicalKey() string {
+	sorted := make([]Edge, len(g.edges))
+	copy(sorted, g.edges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, len(sorted)*8)
+	for _, e := range sorted {
+		for s := 56; s >= 0; s -= 8 {
+			buf = append(buf, byte(e>>uint(s)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mustGraph(t *testing.T, n int, pairs [][2]Node) *Graph {
+	t.Helper()
+	g, err := FromPairs(n, pairs)
+	if err != nil {
+		t.Fatalf("FromPairs: %v", err)
+	}
+	return g
+}
+
+// k4 returns the complete graph on 4 nodes.
+func k4(t *testing.T) *Graph {
+	return mustGraph(t, 4, [][2]Node{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+}
+
+func TestNewRejectsLoop(t *testing.T) {
+	if _, err := New(3, []Edge{MakeEdge(1, 1)}); err == nil {
+		t.Fatal("loop accepted")
+	}
+}
+
+func TestNewRejectsDuplicate(t *testing.T) {
+	if _, err := New(3, []Edge{MakeEdge(0, 1), MakeEdge(1, 0)}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New(3, []Edge{MakeEdge(0, 3)}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := mustGraph(t, 5, [][2]Node{{0, 1}, {1, 2}, {1, 3}})
+	want := []int{1, 3, 1, 1, 0}
+	got := g.Degrees()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := k4(t)
+	c := g.Clone()
+	c.Edges()[0] = MakeEdge(2, 3)
+	if g.Edges()[0] == c.Edges()[0] {
+		t.Fatal("Clone shares edge storage")
+	}
+}
+
+func TestCheckSimple(t *testing.T) {
+	g := k4(t)
+	if err := g.CheckSimple(); err != nil {
+		t.Fatalf("K4 flagged non-simple: %v", err)
+	}
+	g.Edges()[1] = g.Edges()[0]
+	if err := g.CheckSimple(); err == nil {
+		t.Fatal("duplicate not detected")
+	}
+}
+
+func TestSameEdgeSet(t *testing.T) {
+	a := mustGraph(t, 4, [][2]Node{{0, 1}, {2, 3}})
+	b := mustGraph(t, 4, [][2]Node{{3, 2}, {1, 0}})
+	if !SameEdgeSet(a, b) {
+		t.Fatal("identical edge sets not recognized")
+	}
+	c := mustGraph(t, 4, [][2]Node{{0, 1}, {1, 3}})
+	if SameEdgeSet(a, c) {
+		t.Fatal("different edge sets reported equal")
+	}
+}
+
+func TestCanonicalKeyOrderIndependent(t *testing.T) {
+	a := mustGraph(t, 4, [][2]Node{{0, 1}, {2, 3}, {1, 2}})
+	b := mustGraph(t, 4, [][2]Node{{1, 2}, {0, 1}, {2, 3}})
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatal("CanonicalKey depends on edge order")
+	}
+}
+
+func TestDensityAndAverageDegree(t *testing.T) {
+	g := k4(t)
+	if d := g.Density(); d != 1 {
+		t.Fatalf("K4 density = %v", d)
+	}
+	if ad := g.AverageDegree(); ad != 3 {
+		t.Fatalf("K4 average degree = %v", ad)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := mustGraph(t, 6, [][2]Node{{0, 5}, {1, 2}, {3, 4}, {0, 1}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || !SameEdgeSet(g, h) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want 3, 3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListCleansDirtyInput(t *testing.T) {
+	// Directed duplicates, loops and multi-edges must be dropped.
+	in := "0 1\n1 0\n2 2\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("got m=%d, want 2 after cleaning", g.M())
+	}
+	if err := g.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListHeaderWithIsolatedNodes(t *testing.T) {
+	in := "10 2\n0 1\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("declared node count ignored: n=%d", g.N())
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("0 x\n")); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("42\n")); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty input: n=%d m=%d", g.N(), g.M())
+	}
+}

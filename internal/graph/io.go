@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a plain text format: a header line "n m"
+// followed by one "u v" pair per line (canonical orientation).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U(), e.V()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. It also
+// tolerates the common loose variants: comment lines starting with '#'
+// or '%', a missing header (node count inferred), directed duplicates,
+// loops and multi-edges — the latter are dropped, mirroring the paper's
+// NetRep preprocessing ("all directed edges (u,v) are replaced by
+// undirected {u,v}, and self-loops and multi-edges are removed").
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var pairs [][2]int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: malformed line %q", line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad node id %q: %v", fields[0], err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad node id %q: %v", fields[1], err)
+		}
+		pairs = append(pairs, [2]int64{a, b})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Header detection: the first line "n m" is a header iff m matches
+	// the number of remaining lines and no later line references a node
+	// >= n. Otherwise every line is an edge.
+	declaredN := int64(-1)
+	data := pairs
+	if len(pairs) > 0 && int64(len(pairs)-1) == pairs[0][1] {
+		header := pairs[0]
+		isHeader := true
+		for _, p := range pairs[1:] {
+			if p[0] >= header[0] || p[1] >= header[0] {
+				isHeader = false
+				break
+			}
+		}
+		if isHeader {
+			declaredN = header[0]
+			data = pairs[1:]
+		}
+	}
+
+	edges := make([]Edge, 0, len(data))
+	seen := make(map[Edge]struct{}, len(data))
+	maxNode := int64(-1)
+	for _, p := range data {
+		a, b := p[0], p[1]
+		if a < 0 || b < 0 || a >= MaxNodes || b >= MaxNodes {
+			return nil, fmt.Errorf("graph: node id out of range: %d %d", a, b)
+		}
+		if a == b {
+			continue // drop loops
+		}
+		e := MakeEdge(Node(a), Node(b))
+		if _, dup := seen[e]; dup {
+			continue // drop multi-edges
+		}
+		seen[e] = struct{}{}
+		edges = append(edges, e)
+		if a > maxNode {
+			maxNode = a
+		}
+		if b > maxNode {
+			maxNode = b
+		}
+	}
+	n := maxNode + 1
+	if declaredN > n {
+		n = declaredN
+	}
+	if n < 0 {
+		n = 0
+	}
+	return New(int(n), edges)
+}

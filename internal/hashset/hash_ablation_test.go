@@ -1,0 +1,78 @@
+package hashset
+
+import (
+	"hash/crc32"
+	"testing"
+
+	"gesmc/internal/rng"
+)
+
+// The paper hashes edges with the x64 crc32 instruction (§5.2); our
+// implementation substitutes the SplitMix64 finalizer (DESIGN.md). These
+// tests quantify the substitution: both hashes must spread canonical
+// edges uniformly over power-of-two bucket ranges, and the benchmark
+// compares their cost (stdlib crc32/Castagnoli is hardware-accelerated
+// on this ISA, like the paper's instruction).
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crcHash(key uint64) uint64 {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(key >> (8 * i))
+	}
+	return uint64(crc32.Checksum(b[:], castagnoli))
+}
+
+// bucketChiSquare hashes structured edge keys (the adversarial case:
+// sequential node ids) into nBuckets and returns the chi-square of the
+// bucket occupancy.
+func bucketChiSquare(hash func(uint64) uint64, nBuckets int) float64 {
+	counts := make([]int, nBuckets)
+	mask := uint64(nBuckets - 1)
+	const samples = 1 << 16
+	for i := 0; i < samples; i++ {
+		u := uint32(i % 1024)
+		v := uint32(i/1024) + 1024
+		key := uint64(u)<<32 | uint64(v)
+		counts[hash(key)&mask]++
+	}
+	expected := float64(samples) / float64(nBuckets)
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	return x2
+}
+
+func TestHashQualityMix64(t *testing.T) {
+	const buckets = 1 << 10
+	// df = 1023; mean 1023, sd ~ 45; allow 6 sigma.
+	if x2 := bucketChiSquare(rng.Mix64, buckets); x2 > 1023+6*45 {
+		t.Fatalf("Mix64 bucket chi-square %.0f too large", x2)
+	}
+}
+
+func TestHashQualityCRC32(t *testing.T) {
+	const buckets = 1 << 10
+	if x2 := bucketChiSquare(crcHash, buckets); x2 > 1023+6*45 {
+		t.Fatalf("crc32 bucket chi-square %.0f too large", x2)
+	}
+}
+
+func BenchmarkHashMix64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Mix64(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	_ = sink
+}
+
+func BenchmarkHashCRC32(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += crcHash(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	_ = sink
+}

@@ -1,0 +1,75 @@
+package rng
+
+// Alias is a Vose alias table for sampling from an arbitrary discrete
+// distribution in O(1) time per draw after O(k) construction. It backs
+// the power-law degree-sequence generator (Pld of the paper's SynPld
+// dataset).
+type Alias struct {
+	prob  []float64
+	alias []uint32
+}
+
+// NewAlias builds an alias table for the given non-negative weights. The
+// weights need not be normalized. At least one weight must be positive.
+func NewAlias(weights []float64) *Alias {
+	k := len(weights)
+	if k == 0 {
+		panic("rng: NewAlias with empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewAlias with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: NewAlias with zero total weight")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, k),
+		alias: make([]uint32, k),
+	}
+	scaled := make([]float64, k)
+	small := make([]uint32, 0, k)
+	large := make([]uint32, 0, k)
+	for i, w := range weights {
+		scaled[i] = w * float64(k) / total
+		if scaled[i] < 1 {
+			small = append(small, uint32(i))
+		} else {
+			large = append(large, uint32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Numerical residue: remaining columns are full.
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Sample draws an index in [0, len(weights)) with probability
+// proportional to its weight.
+func (a *Alias) Sample(src Source) int {
+	i := IntN(src, len(a.prob))
+	if Float64(src) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,194 @@
+package rng
+
+import "math"
+
+// Binomial draws an exact sample from the binomial distribution with n
+// trials and success probability p. G-ES-MC uses it to draw the number of
+// executed switches per global switch, ℓ ~ Binom(⌊m/2⌋, 1−P_L)
+// (Definition 3 of the paper).
+//
+// Small expectations use the BINV inversion algorithm; large expectations
+// use the exact BTPE accept/reject algorithm of Kachitvichyanukul and
+// Schmeiser (1988). Both are exact (no normal approximation).
+func Binomial(src Source, n int64, p float64) int64 {
+	switch {
+	case n < 0 || math.IsNaN(p) || p < 0 || p > 1:
+		panic("rng: Binomial with invalid parameters")
+	case n == 0 || p == 0:
+		return 0
+	case p == 1:
+		return n
+	case p > 0.5:
+		return n - Binomial(src, n, 1-p)
+	}
+	if float64(n)*p < 30 {
+		return binomialInversion(src, n, p)
+	}
+	return binomialBTPE(src, n, p)
+}
+
+// binomialInversion is the BINV sequential-search algorithm. It is exact
+// and efficient for n*p < ~30 (requires p <= 0.5 so that q^n does not
+// underflow at the expectation cap used by Binomial).
+func binomialInversion(src Source, n int64, p float64) int64 {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	r := math.Pow(q, float64(n))
+	for {
+		x := int64(0)
+		u := Float64(src)
+		f := r
+		for {
+			if u < f {
+				return x
+			}
+			if x > 110 {
+				break // numerically exhausted tail; redraw
+			}
+			u -= f
+			x++
+			f *= a/float64(x) - s
+		}
+	}
+}
+
+// binomialBTPE implements the BTPE algorithm (triangle/parallelogram/
+// exponential-tails envelope with squeeze acceptance). Requires p <= 0.5
+// and n*p >= 30. The structure follows the published algorithm.
+func binomialBTPE(src Source, n int64, p float64) int64 {
+	r := p
+	q := 1 - r
+	fm := float64(n)*r + r
+	m := int64(fm)
+	nrq := float64(n) * r * q
+	p1 := math.Floor(2.195*math.Sqrt(nrq)-4.6*q) + 0.5
+	xm := float64(m) + 0.5
+	xl := xm - p1
+	xr := xm + p1
+	c := 0.134 + 20.5/(15.3+float64(m))
+	al := (fm - xl) / (fm - xl*r)
+	lamL := al * (1 + 0.5*al)
+	ar := (xr - fm) / (xr * q)
+	lamR := ar * (1 + 0.5*ar)
+	p2 := p1 * (1 + 2*c)
+	p3 := p2 + c/lamL
+	p4 := p3 + c/lamR
+
+	var y int64
+	for {
+		u := Float64(src) * p4
+		v := Float64(src)
+		switch {
+		case u <= p1:
+			// Triangular central region: immediate acceptance.
+			return int64(xm - p1*v + u)
+		case u <= p2:
+			// Parallelogram region.
+			x := xl + (u-p1)/c
+			v = v*c + 1 - math.Abs(xm-x)/p1
+			if v > 1 {
+				continue
+			}
+			y = int64(x)
+		case u <= p3:
+			// Left exponential tail.
+			y = int64(xl + math.Log(v)/lamL)
+			if y < 0 {
+				continue
+			}
+			v *= (u - p2) * lamL
+		default:
+			// Right exponential tail.
+			y = int64(xr - math.Log(v)/lamR)
+			if y > n {
+				continue
+			}
+			v *= (u - p3) * lamR
+		}
+
+		// Acceptance/rejection test of candidate y against f(y)/f(m).
+		k := y - m
+		if k < 0 {
+			k = -k
+		}
+		if float64(k) <= 20 || float64(k) >= nrq/2-1 {
+			// Explicit evaluation of the ratio by recurrence.
+			s := r / q
+			a := s * float64(n+1)
+			f := 1.0
+			switch {
+			case m < y:
+				for i := m + 1; i <= y; i++ {
+					f *= a/float64(i) - s
+				}
+			case m > y:
+				for i := y + 1; i <= m; i++ {
+					f /= a/float64(i) - s
+				}
+			}
+			if v <= f {
+				return y
+			}
+			continue
+		}
+
+		// Squeeze using upper and lower bounds on log f(y)/f(m).
+		rho := (float64(k) / nrq) * ((float64(k)*(float64(k)/3+0.625)+1.0/6)/nrq + 0.5)
+		t := -float64(k) * float64(k) / (2 * nrq)
+		alv := math.Log(v)
+		if alv < t-rho {
+			return y
+		}
+		if alv > t+rho {
+			continue
+		}
+
+		// Final comparison using Stirling-corrected log factorials.
+		x1 := float64(y + 1)
+		f1 := float64(m + 1)
+		z := float64(n + 1 - m)
+		w := float64(n - y + 1)
+		if alv <= xm*math.Log(f1/x1)+
+			(float64(n-m)+0.5)*math.Log(z/w)+
+			float64(y-m)*math.Log(w*r/(x1*q))+
+			stirlingCorrection(f1)+stirlingCorrection(z)+
+			stirlingCorrection(x1)+stirlingCorrection(w) {
+			return y
+		}
+	}
+}
+
+// stirlingCorrection evaluates the truncated Stirling series used by the
+// BTPE final test: (1/x)(1/12 - 1/360x^2 + 1/1260x^4 - ...), via the
+// standard Horner form with a common denominator of 166320.
+func stirlingCorrection(x float64) float64 {
+	x2 := x * x
+	return (13860 - (462-(132-(99-140/x2)/x2)/x2)/x2) / x / 166320
+}
+
+// BinomialComplementSmall draws n - Binom(n, pl) for small pl by counting
+// failures with geometric skips, in O(n*pl + 1) expected time. It is the
+// fast path for sampling ℓ when the loop-rejection probability P_L of
+// G-ES-MC is tiny.
+func BinomialComplementSmall(src Source, n int64, pl float64) int64 {
+	if pl <= 0 {
+		return n
+	}
+	if pl >= 1 {
+		return 0
+	}
+	logq := math.Log1p(-pl)
+	var failures int64
+	pos := int64(0)
+	for {
+		u := Float64(src)
+		skip := int64(math.Log1p(-u)/logq) + 1
+		pos += skip
+		if pos > n {
+			break
+		}
+		failures++
+	}
+	return n - failures
+}

@@ -1,0 +1,155 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// binomPMF returns the exact binomial probability mass at k.
+func binomPMF(n int64, p float64, k int64) float64 {
+	lg := lgammaP(float64(n+1)) - lgammaP(float64(k+1)) - lgammaP(float64(n-k+1))
+	return math.Exp(lg + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+func lgammaP(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// checkBinomialMoments draws samples and compares mean and variance to the
+// exact values within 5 standard errors.
+func checkBinomialMoments(t *testing.T, n int64, p float64, samples int) {
+	t.Helper()
+	src := NewMT19937(uint64(n)*1000003 + uint64(p*1e9))
+	var sum, sumsq float64
+	for i := 0; i < samples; i++ {
+		v := Binomial(src, n, p)
+		if v < 0 || v > n {
+			t.Fatalf("Binomial(%d,%v) = %d out of range", n, p, v)
+		}
+		f := float64(v)
+		sum += f
+		sumsq += f * f
+	}
+	mean := sum / float64(samples)
+	variance := sumsq/float64(samples) - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	seMean := math.Sqrt(wantVar / float64(samples))
+	if math.Abs(mean-wantMean) > 5*seMean+1e-9 {
+		t.Errorf("Binomial(%d,%v): mean %.3f, want %.3f (se %.4f)", n, p, mean, wantMean, seMean)
+	}
+	if wantVar > 0 && math.Abs(variance-wantVar)/wantVar > 0.1 {
+		t.Errorf("Binomial(%d,%v): variance %.3f, want %.3f", n, p, variance, wantVar)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.5},   // BINV
+		{100, 0.05}, // BINV
+		{1000, 0.5}, // BTPE
+		{100000, 0.3},
+		{1 << 20, 0.999}, // complement path
+		{50, 0.9},
+	}
+	for _, c := range cases {
+		checkBinomialMoments(t, c.n, c.p, 20000)
+	}
+}
+
+func TestBinomialChiSquareSmall(t *testing.T) {
+	// Exact goodness-of-fit for a small case covering the BINV path.
+	const n = 12
+	const p = 0.35
+	const samples = 200000
+	src := NewMT19937(424242)
+	counts := make([]int, n+1)
+	for i := 0; i < samples; i++ {
+		counts[Binomial(src, n, p)]++
+	}
+	var x2 float64
+	df := 0
+	for k := int64(0); k <= n; k++ {
+		exp := binomPMF(n, p, k) * samples
+		if exp < 5 {
+			continue
+		}
+		d := float64(counts[k]) - exp
+		x2 += d * d / exp
+		df++
+	}
+	// df around 11; very generous threshold (p < 1e-5).
+	if x2 > 60 {
+		t.Fatalf("binomial chi-square %.1f too large (df=%d)", x2, df)
+	}
+}
+
+func TestBinomialChiSquareBTPE(t *testing.T) {
+	// Goodness-of-fit across the central region of a BTPE case.
+	const n = 400
+	const p = 0.25
+	const samples = 100000
+	src := NewMT19937(777)
+	counts := map[int64]int{}
+	for i := 0; i < samples; i++ {
+		counts[Binomial(src, n, p)]++
+	}
+	var x2 float64
+	df := 0
+	for k := int64(70); k <= 130; k++ {
+		exp := binomPMF(n, p, k) * samples
+		if exp < 10 {
+			continue
+		}
+		d := float64(counts[k]) - exp
+		x2 += d * d / exp
+		df++
+	}
+	if float64(x2) > float64(df)+6*math.Sqrt(2*float64(df)) {
+		t.Fatalf("BTPE chi-square %.1f too large for df=%d", x2, df)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	src := NewSplitMix64(5)
+	if v := Binomial(src, 0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+	if v := Binomial(src, 100, 0); v != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", v)
+	}
+	if v := Binomial(src, 100, 1); v != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", v)
+	}
+}
+
+func TestBinomialComplementSmall(t *testing.T) {
+	const n = 1 << 16
+	const pl = 1e-3
+	src := NewMT19937(31337)
+	const samples = 5000
+	var sum float64
+	for i := 0; i < samples; i++ {
+		v := BinomialComplementSmall(src, n, pl)
+		if v < 0 || v > n {
+			t.Fatalf("complement sample %d out of range", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / samples
+	want := float64(n) * (1 - pl)
+	se := math.Sqrt(float64(n)*pl*(1-pl)) / math.Sqrt(samples)
+	if math.Abs(mean-want) > 6*se {
+		t.Fatalf("complement mean %.2f, want %.2f (se %.3f)", mean, want, se)
+	}
+	if v := BinomialComplementSmall(src, 100, 0); v != 100 {
+		t.Fatalf("pl=0 should execute all switches, got %d", v)
+	}
+	if v := BinomialComplementSmall(src, 100, 1); v != 0 {
+		t.Fatalf("pl=1 should reject all switches, got %d", v)
+	}
+}

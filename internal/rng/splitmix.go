@@ -1,0 +1,54 @@
+package rng
+
+// SplitMix64 is Steele, Lea & Vigna's splittable generator. It is used to
+// derive independent per-worker streams from a master seed and as a cheap
+// high-quality generator where the full Mersenne Twister state would be
+// wasteful (for example one generator per goroutine in a superstep).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit word.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of the receiver's future output.
+func (s *SplitMix64) Split() *SplitMix64 {
+	return &SplitMix64{state: s.Uint64()}
+}
+
+// Mix64 applies the SplitMix64 finalizer to x. It is a strong 64-bit
+// mixing function used both for seeding and as the hash function of the
+// open-addressing edge sets (substituting for the paper's crc32
+// instruction; see DESIGN.md).
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// PerWorkerSeeds expands a master seed into p decorrelated seeds, one per
+// worker, using SplitMix64. The expansion is deterministic: the same
+// (seed, p) always yields the same slice.
+func PerWorkerSeeds(seed uint64, p int) []uint64 {
+	src := NewSplitMix64(seed)
+	out := make([]uint64, p)
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package rng
+
+import "math/bits"
+
+// UintN returns a uniformly distributed integer in [0, n) using Lemire's
+// multiply-with-rejection method (Lemire, "Fast random integer generation
+// in an interval", TOMACS 2019), the same bounded-integer method used by
+// the paper's implementation. It consumes one 64-bit word in the common
+// case. n must be positive.
+func UintN(src Source, n uint64) uint64 {
+	if n == 0 {
+		panic("rng: UintN with n == 0")
+	}
+	hi, lo := bits.Mul64(src.Uint64(), n)
+	if lo < n {
+		// Rejection zone: recompute the threshold only on the rare
+		// slow path.
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(src.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntN returns a uniformly distributed int in [0, n). n must be positive.
+func IntN(src Source, n int) int {
+	if n <= 0 {
+		panic("rng: IntN with n <= 0")
+	}
+	return int(UintN(src, uint64(n)))
+}
+
+// TwoDistinct returns two distinct uniformly distributed integers in
+// [0, n). It matches the paper's edge-index sampling for ES-MC (two
+// indices i != j). n must be at least 2.
+func TwoDistinct(src Source, n int) (int, int) {
+	if n < 2 {
+		panic("rng: TwoDistinct with n < 2")
+	}
+	i := IntN(src, n)
+	j := IntN(src, n-1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// Bool returns an unbiased random bit.
+func Bool(src Source) bool {
+	return src.Uint64()>>63 != 0
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1) with 53 bits
+// of precision.
+func Float64(src Source) float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}

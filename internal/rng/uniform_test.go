@@ -1,0 +1,134 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// chiSquare returns the chi-square statistic of observed counts against a
+// uniform expectation.
+func chiSquare(counts []int, samples int) float64 {
+	expected := float64(samples) / float64(len(counts))
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	return x2
+}
+
+func TestUintNUniform(t *testing.T) {
+	src := NewMT19937(7)
+	const n = 13
+	const samples = 130000
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		v := UintN(src, n)
+		if v >= n {
+			t.Fatalf("UintN returned %d >= %d", v, n)
+		}
+		counts[v]++
+	}
+	// df = 12; P(X2 > 40) < 1e-4.
+	if x2 := chiSquare(counts, samples); x2 > 40 {
+		t.Fatalf("UintN chi-square too large: %.1f", x2)
+	}
+}
+
+func TestUintNRange(t *testing.T) {
+	src := NewSplitMix64(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := UintN(src, n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintNPowerOfTwoBoundary(t *testing.T) {
+	src := NewSplitMix64(11)
+	for _, n := range []uint64{1, 2, 1 << 32, 1<<63 + 1, ^uint64(0)} {
+		for i := 0; i < 100; i++ {
+			if v := UintN(src, n); v >= n {
+				t.Fatalf("UintN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestTwoDistinct(t *testing.T) {
+	src := NewMT19937(99)
+	const n = 5
+	counts := make([]int, n*n)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		a, b := TwoDistinct(src, n)
+		if a == b {
+			t.Fatal("TwoDistinct returned equal indices")
+		}
+		if a < 0 || a >= n || b < 0 || b >= n {
+			t.Fatalf("TwoDistinct out of range: %d, %d", a, b)
+		}
+		counts[a*n+b]++
+	}
+	// All 20 ordered pairs should be uniform: df = 19, threshold ~ 55.
+	pairs := make([]int, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, counts[i*n+j])
+			}
+		}
+	}
+	if x2 := chiSquare(pairs, samples); x2 > 55 {
+		t.Fatalf("TwoDistinct chi-square too large: %.1f", x2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := NewMT19937(1)
+	var sum float64
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		f := Float64(src)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / samples; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBoolUnbiased(t *testing.T) {
+	src := NewMT19937(2)
+	ones := 0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		if Bool(src) {
+			ones++
+		}
+	}
+	if math.Abs(float64(ones)-samples/2) > 4*math.Sqrt(samples/4) {
+		t.Fatalf("Bool bias: %d ones of %d", ones, samples)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs must produce distinct outputs on a sample (Mix64
+	// is a bijection; collisions would indicate a porting bug).
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i * 0x9E3779B97F4A7C15)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision between inputs %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}

@@ -1,0 +1,219 @@
+package gesmc
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"gesmc/internal/autocorr"
+	"gesmc/internal/core"
+)
+
+// Algorithm selects a switching implementation (paper names).
+type Algorithm int
+
+const (
+	// SeqES is the fast sequential ES-MC (hash set + edge array, §5).
+	SeqES Algorithm = iota
+	// SeqGlobalES is the sequential G-ES-MC (Definition 3).
+	SeqGlobalES
+	// NaiveParES is the inexact parallel baseline (§5.1). It does not
+	// faithfully implement ES-MC; use it only for performance studies.
+	NaiveParES
+	// ParES is the exact parallel ES-MC (Algorithm 2).
+	ParES
+	// ParGlobalES is the exact parallel G-ES-MC (Algorithm 3) — the
+	// paper's headline algorithm and the recommended default.
+	ParGlobalES
+	// AdjListES is the unsorted adjacency-list sequential baseline
+	// (NetworKit-style data structure).
+	AdjListES
+	// AdjSortES is the sorted adjacency-list sequential baseline
+	// (Gengraph-style data structure).
+	AdjSortES
+)
+
+var algNames = map[Algorithm]core.Algorithm{
+	SeqES:       core.AlgSeqES,
+	SeqGlobalES: core.AlgSeqGlobalES,
+	NaiveParES:  core.AlgNaiveParES,
+	ParES:       core.AlgParES,
+	ParGlobalES: core.AlgParGlobalES,
+	AdjListES:   core.AlgAdjListES,
+	AdjSortES:   core.AlgAdjSortES,
+}
+
+// String returns the paper's name for the implementation.
+func (a Algorithm) String() string {
+	if ca, ok := algNames[a]; ok {
+		return ca.String()
+	}
+	return "unknown"
+}
+
+// ParseAlgorithm maps a name (as printed by String) to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a, ca := range algNames {
+		if ca.String() == name {
+			return a, nil
+		}
+	}
+	return 0, errors.New("gesmc: unknown algorithm " + name)
+}
+
+// Algorithms lists all implementations in a stable order.
+func Algorithms() []Algorithm {
+	return []Algorithm{SeqES, SeqGlobalES, NaiveParES, ParES, ParGlobalES, AdjListES, AdjSortES}
+}
+
+// Options configures Randomize.
+type Options struct {
+	// Algorithm selects the implementation; default ParGlobalES.
+	Algorithm Algorithm
+	// Workers is the parallelism degree P; default 1.
+	Workers int
+	// SwapsPerEdge requests enough supersteps that the expected number
+	// of switch attempts is SwapsPerEdge per edge. The paper (and the
+	// empirical literature it cites) recommends 10-30; default 10,
+	// i.e. 20 supersteps.
+	SwapsPerEdge float64
+	// Supersteps overrides SwapsPerEdge with an explicit superstep
+	// count when > 0 (one superstep = ⌊m/2⌋ switch attempts for ES-MC
+	// chains, one global switch for G-ES-MC chains).
+	Supersteps int
+	// Seed makes runs reproducible; runs with the same (graph, options)
+	// are deterministic.
+	Seed uint64
+	// LoopProb is the P_L of G-ES-MC (Definition 3); default 1e-6.
+	LoopProb float64
+	// Prefetch enables the hash-bucket pre-touch pipeline (§5.4).
+	Prefetch bool
+	// SampleViaBuckets makes SeqES sample edges by probing random hash
+	// buckets instead of the auxiliary edge array (§5.3).
+	SampleViaBuckets bool
+}
+
+func (o Options) supersteps() int {
+	if o.Supersteps > 0 {
+		return o.Supersteps
+	}
+	spe := o.SwapsPerEdge
+	if spe <= 0 {
+		spe = 10
+	}
+	return int(math.Ceil(2 * spe))
+}
+
+// Stats reports what a Randomize run did.
+type Stats struct {
+	Algorithm  string
+	Supersteps int
+	// Attempted and Accepted count switches; Accepted/Attempted is the
+	// acceptance rate of the chain.
+	Attempted int64
+	Accepted  int64
+	// Rounds instrumentation of the parallel supersteps (zero for
+	// sequential algorithms): average and maximum rounds per superstep,
+	// and the fraction of round time spent beyond the first round
+	// (Fig. 9's metric).
+	AvgRounds          float64
+	MaxRounds          int
+	LateRoundsFraction float64
+	Duration           time.Duration
+}
+
+// Randomize runs the selected switching Markov chain on g in place and
+// returns run statistics. The degree sequence and simplicity of g are
+// preserved; after enough supersteps (default 20) the result is an
+// approximately uniform sample from the set of simple graphs with g's
+// degrees.
+func Randomize(g *Graph, opt Options) (Stats, error) {
+	ca, ok := algNames[opt.Algorithm]
+	if !ok {
+		return Stats{}, errors.New("gesmc: unknown algorithm")
+	}
+	rs, err := core.Run(g.raw(), ca, opt.supersteps(), core.Config{
+		Workers:          opt.Workers,
+		Seed:             opt.Seed,
+		LoopProb:         opt.LoopProb,
+		Prefetch:         opt.Prefetch,
+		SampleViaBuckets: opt.SampleViaBuckets,
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{
+		Algorithm:  rs.Algorithm.String(),
+		Supersteps: rs.Supersteps,
+		Attempted:  rs.Attempted,
+		Accepted:   rs.Legal,
+		AvgRounds:  rs.AvgRounds(),
+		MaxRounds:  rs.MaxRounds,
+		Duration:   rs.Duration,
+	}
+	if total := rs.FirstRoundTime + rs.LaterRoundsTime; total > 0 {
+		st.LateRoundsFraction = float64(rs.LaterRoundsTime) / float64(total)
+	}
+	return st, nil
+}
+
+// SampleFromDegrees materializes the degree sequence with Havel-Hakimi
+// and randomizes it: the one-call path to an approximately uniform
+// sample of a simple graph with the prescribed degrees.
+func SampleFromDegrees(degrees []int, opt Options) (*Graph, Stats, error) {
+	g, err := FromDegrees(degrees)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats, err := Randomize(g, opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return g, stats, nil
+}
+
+// Chain selects the Markov chain for AnalyzeMixing.
+type Chain int
+
+const (
+	// ChainES is standard ES-MC.
+	ChainES Chain = iota
+	// ChainGlobalES is the paper's G-ES-MC.
+	ChainGlobalES
+)
+
+// MixingResult is the output of AnalyzeMixing: for each thinning value
+// (in supersteps), the fraction of tracked edges whose thinned
+// time series still looks first-order-Markov rather than independent
+// (§6.1's autocorrelation/BIC diagnostic).
+type MixingResult struct {
+	Thinnings      []int
+	NonIndependent []float64
+}
+
+// FirstThinningBelow returns the smallest thinning whose fraction of
+// non-independent edges is below tau, or 0 if none.
+func (m MixingResult) FirstThinningBelow(tau float64) int {
+	for i, k := range m.Thinnings {
+		if m.NonIndependent[i] < tau {
+			return k
+		}
+	}
+	return 0
+}
+
+// AnalyzeMixing runs the chain for the given number of supersteps on a
+// clone of g (the graph is not modified) and reports the autocorrelation
+// diagnostic over the edges of the initial graph.
+func AnalyzeMixing(g *Graph, chain Chain, supersteps int, seed uint64) MixingResult {
+	ac := autocorr.ChainES
+	if chain == ChainGlobalES {
+		ac = autocorr.ChainGlobalES
+	}
+	maxThin := supersteps / 8
+	if maxThin < 2 {
+		maxThin = 2
+	}
+	res := autocorr.Analyze(g.raw(), ac, supersteps, autocorr.DefaultThinnings(maxThin), core.DefaultLoopProb, seed)
+	return MixingResult{Thinnings: res.Thinnings, NonIndependent: res.NonIndependent}
+}
