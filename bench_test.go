@@ -5,6 +5,7 @@
 package gesmc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -206,6 +207,72 @@ func BenchmarkAblationPermutation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEnsemble compares the two ways of drawing an ensemble of k
+// degree-preserving samples from one graph: k independent one-shot
+// Randomize calls (each paying engine construction plus a full burn-in)
+// against one reused Sampler (one construction, one burn-in, then a
+// sample every thinning interval). The "reused" variant matches the
+// one-shot superstep count per sample to isolate the engine-state
+// amortization; "reused-thinned" additionally uses a shorter thinning,
+// the configuration AnalyzeMixing justifies and Ensemble is built for.
+func BenchmarkEnsemble(b *testing.B) {
+	const (
+		samples = 8
+		burnIn  = 20
+		thin    = 4
+	)
+	base, err := GeneratePowerLaw(1<<12, 2.5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bytesPerSample := int64(base.M()) * 8 * samples
+
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < samples; s++ {
+				c := base.Clone()
+				if _, err := Randomize(c, Options{
+					Algorithm: ParGlobalES, Workers: 2, Seed: uint64(s), Supersteps: burnIn,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.SetBytes(bytesPerSample)
+	})
+	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := NewSampler(base.Clone(),
+				WithAlgorithm(ParGlobalES), WithWorkers(2), WithSeed(uint64(i)),
+				WithBurnIn(burnIn), WithThinning(burnIn))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Collect(context.Background(), samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(bytesPerSample)
+	})
+	b.Run("reused-thinned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := NewSampler(base.Clone(),
+				WithAlgorithm(ParGlobalES), WithWorkers(2), WithSeed(uint64(i)),
+				WithBurnIn(burnIn), WithThinning(thin))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Collect(context.Background(), samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(bytesPerSample)
+	})
 }
 
 // BenchmarkPublicAPI measures the end-to-end public entry point.

@@ -69,6 +69,12 @@ func TestFig9Driver(t *testing.T) {
 	}
 }
 
+func TestEnsembleDriver(t *testing.T) {
+	if err := ensembleCmp(quickOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFmtHelpers(t *testing.T) {
 	if s := fmtThin(0); s != ">max" {
 		t.Fatalf("fmtThin(0) = %q", s)

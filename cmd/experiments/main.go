@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|all> [flags]
+//	experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|all> [flags]
 //
 // Common flags:
 //
@@ -74,6 +74,8 @@ func main() {
 		runOne("Figure 9: rounds per global switch", fig9)
 	case "curveball":
 		runOne("Extension: Curveball vs edge-switching mixing", curveballCmp)
+	case "ensemble":
+		runOne("Extension: one-shot vs reused-sampler ensemble throughput", ensembleCmp)
 	case "all":
 		runOne("Figure 2", fig2)
 		runOne("Figure 3", fig3)
@@ -84,6 +86,7 @@ func main() {
 		runOne("Figure 8", fig8)
 		runOne("Figure 9", fig9)
 		runOne("Curveball comparison (extension)", curveballCmp)
+		runOne("Ensemble throughput (extension)", ensembleCmp)
 	default:
 		usage()
 		os.Exit(2)
@@ -91,5 +94,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|all> [-scale f] [-seed n] [-workers n] [-quick]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|all> [-scale f] [-seed n] [-workers n] [-quick]`)
 }

@@ -1,14 +1,18 @@
 // Command gesmc randomizes a simple graph while preserving its degree
-// sequence, using the switching Markov chains of the paper.
+// sequence, using the switching Markov chains of the paper. With
+// -samples it streams a whole thinned ensemble through one reusable
+// sampling engine (the null-model workload).
 //
 // Examples:
 //
 //	gesmc -gen pld:n=65536,gamma=2.5 -algo ParGlobalES -workers 8 -out random.txt
 //	gesmc -in graph.txt -swaps 30 -seed 7 -out shuffled.txt -metrics
 //	gesmc -gen gnp:n=10000,p=0.001 -algo SeqGlobalES -stats
+//	gesmc -in graph.txt -samples 100 -thinning 4 -out 'sample-%d.txt'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +27,13 @@ func main() {
 	var (
 		inPath   = flag.String("in", "", "input edge list file ('-' for stdin)")
 		genSpec  = flag.String("gen", "", "generate input: gnp:n=..,p=.. | pld:n=..,gamma=.. | reg:n=..,d=.. | grid:r=..,c=..")
-		outPath  = flag.String("out", "", "write resulting edge list to file ('-' for stdout)")
-		algoName = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES")
+		outPath  = flag.String("out", "", "write resulting edge list to file ('-' for stdout); with -samples > 1, a pattern containing %d")
+		algoName = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers P")
-		swaps    = flag.Float64("swaps", 10, "switch attempts per edge")
-		steps    = flag.Int("supersteps", 0, "explicit superstep count (overrides -swaps)")
+		swaps    = flag.Float64("swaps", 10, "switch attempts per edge (burn-in)")
+		steps    = flag.Int("supersteps", 0, "explicit burn-in superstep count (overrides -swaps)")
+		samples  = flag.Int("samples", 1, "number of thinned samples to draw through one reused engine")
+		thinning = flag.Int("thinning", 0, "supersteps between samples (0 = same as burn-in)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		stats    = flag.Bool("stats", false, "print run statistics")
 		metrics  = flag.Bool("metrics", false, "print graph metrics before and after")
@@ -44,43 +50,93 @@ func main() {
 		fatal(err)
 	}
 
+	opts := []gesmc.Option{
+		gesmc.WithAlgorithm(alg),
+		gesmc.WithWorkers(max(*workers, 1)),
+		gesmc.WithSeed(*seed),
+		gesmc.WithPrefetch(*prefetch),
+		gesmc.WithSwapsPerEdge(*swaps),
+	}
+	if *steps > 0 {
+		opts = append(opts, gesmc.WithBurnIn(*steps))
+	}
+	if *thinning > 0 {
+		opts = append(opts, gesmc.WithThinning(*thinning))
+	}
+	sampler, err := gesmc.NewSampler(g, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *metrics {
 		printMetrics("before", g)
 	}
-	st, err := gesmc.Randomize(g, gesmc.Options{
-		Algorithm:    alg,
-		Workers:      *workers,
-		SwapsPerEdge: *swaps,
-		Supersteps:   *steps,
-		Seed:         *seed,
-		Prefetch:     *prefetch,
-	})
-	if err != nil {
-		fatal(err)
+
+	if *samples <= 1 {
+		st, err := sampler.Sample()
+		if err != nil {
+			fatal(err)
+		}
+		if *metrics {
+			printMetrics("after", g)
+		}
+		if *stats {
+			printStats(st)
+		}
+		if *outPath != "" {
+			if err := writeGraph(*outPath, g); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	if *outPath != "" && !strings.Contains(*outPath, "%d") {
+		fatal(fmt.Errorf("-samples %d needs an -out pattern containing %%d", *samples))
+	}
+	for smp := range sampler.Ensemble(context.Background(), *samples) {
+		if smp.Err != nil {
+			fatal(smp.Err)
+		}
+		if *stats {
+			printStats(smp.Stats)
+		}
+		if *outPath != "" {
+			if err := writeGraph(strings.ReplaceAll(*outPath, "%d", strconv.Itoa(smp.Index)), smp.Graph); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *metrics {
 		printMetrics("after", g)
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr,
-			"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f rounds(avg=%.2f,max=%d) time=%v\n",
-			st.Algorithm, st.Supersteps, st.Attempted, st.Accepted,
-			float64(st.Accepted)/float64(st.Attempted), st.AvgRounds, st.MaxRounds, st.Duration)
+		total := sampler.Stats()
+		fmt.Fprintf(os.Stderr, "ensemble: %d samples in %d supersteps (engine built once), total time=%v\n",
+			sampler.Samples(), sampler.Supersteps(), total.Duration)
 	}
-	if *outPath != "" {
-		w := os.Stdout
-		if *outPath != "-" {
-			f, err := os.Create(*outPath)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			w = f
-		}
-		if err := g.Write(w); err != nil {
-			fatal(err)
-		}
+}
+
+func printStats(st gesmc.Stats) {
+	fmt.Fprintf(os.Stderr,
+		"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f rounds(avg=%.2f,max=%d) time=%v\n",
+		st.Algorithm, st.Supersteps, st.Attempted, st.Accepted,
+		float64(st.Accepted)/float64(st.Attempted), st.AvgRounds, st.MaxRounds, st.Duration)
+}
+
+func writeGraph(path string, g *gesmc.Graph) error {
+	if path == "-" {
+		return g.Write(os.Stdout)
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadGraph(inPath, genSpec string, seed uint64) (*gesmc.Graph, error) {

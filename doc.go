@@ -1,30 +1,65 @@
-// Package gesmc provides uniform sampling of simple undirected graphs
-// with a prescribed degree sequence via edge switching Markov chains,
+// Package gesmc provides uniform sampling of simple graphs with a
+// prescribed degree sequence via edge switching Markov chains,
 // implementing the algorithms of Allendorf, Meyer, Penschuck and Tran,
 // "Parallel Global Edge Switching for the Uniform Sampling of Simple
 // Graphs with Prescribed Degrees" (IPDPS 2022 / JPDC 2023).
 //
-// The package offers:
+// The package is built around a reusable, stateful Sampler: NewSampler
+// compiles a target graph once into the selected algorithm's working
+// state (hash-based edge set, dependency table, RNG streams), after
+// which Step, Sample, and Ensemble advance the same Markov chain
+// without rebuilding anything. One Sampler drives all three supported
+// target classes — undirected graphs (*Graph), directed graphs
+// (*DiGraph), and bipartite graphs (FromBipartiteDegrees, represented
+// as digraphs) — and nine algorithms: the seven switching
+// implementations of the paper (sequential baselines through the exact
+// parallel ParGlobalES, the headline algorithm and default) plus the
+// Curveball and GlobalCurveball trade chains.
 //
-//   - Graph construction from edge lists, degree sequences (Havel-
-//     Hakimi), and generators (G(n,p), power-law, regular, grid).
-//   - Randomize: run one of seven switching implementations, from the
-//     sequential baselines to the exact parallel ParGlobalES, which
-//     performs global switches — batches of ⌊m/2⌋ source-independent
-//     edge switches — in parallel supersteps.
-//   - SampleFromDegrees: the one-call path from a degree sequence to an
-//     approximately uniform sample.
-//   - AnalyzeMixing: the autocorrelation/BIC mixing diagnostic of the
-//     paper's §6.1.
-//
-// Quick start:
+// Quick start — one approximately uniform sample:
 //
 //	g, err := gesmc.GeneratePowerLaw(1<<16, 2.5, 1)
 //	if err != nil { ... }
-//	stats, err := gesmc.Randomize(g, gesmc.Options{
-//		Algorithm: gesmc.ParGlobalES,
-//		Workers:   runtime.NumCPU(),
-//	})
+//	s, err := gesmc.NewSampler(g,
+//		gesmc.WithAlgorithm(gesmc.ParGlobalES),
+//		gesmc.WithWorkers(runtime.NumCPU()),
+//		gesmc.WithSeed(1))
+//	if err != nil { ... }
+//	stats, err := s.Sample() // burn-in; g now holds the sample
 //
-// All operations are deterministic for a fixed seed and worker count.
+// Ensembles — the null-model workload of hundreds of thinned samples
+// per input graph — stream through the same engine:
+//
+//	for smp := range s.Ensemble(ctx, 100) {
+//		if smp.Err != nil { ... }
+//		use(smp.Graph) // deep copy; smp.Stats covers its supersteps
+//	}
+//
+// The first sample pays the burn-in (default: 10 switch attempts per
+// edge); each further sample only a thinning interval. AnalyzeMixing
+// runs the paper's §6.1 autocorrelation/BIC diagnostic and its
+// FirstThinningBelow result is the natural input to WithThinning:
+// thinning measured this way is typically several times shorter than a
+// full burn-in, which (together with engine reuse) is where the
+// ensemble throughput win over repeated one-shot runs comes from.
+//
+// Functional options (WithAlgorithm, WithWorkers, WithSeed,
+// WithThinning, WithBurnIn, WithLoopProb, WithProgress, ...) validate
+// eagerly and return the typed errors of errors.go; context
+// cancellation is honored at superstep boundaries, always leaving the
+// target a valid simple graph with the original degrees.
+//
+// Construction helpers cover edge lists (NewGraph, ReadGraph), degree
+// sequences (FromDegrees via Havel-Hakimi, FromInOutDegrees via
+// Kleitman-Wang, FromBipartiteDegrees), and generators (G(n,p),
+// power-law, regular, grid).
+//
+// Deprecated one-shot entry points: Randomize, RandomizeDirected, and
+// SampleFromDegrees remain supported as thin wrappers that build a
+// Sampler, run one Step, and throw the engine away — convenient for a
+// single draw, wasteful for ensembles.
+//
+// All operations are deterministic for a fixed seed, algorithm, and
+// worker count (the sequential chains are additionally independent of
+// the worker count).
 package gesmc

@@ -1,0 +1,39 @@
+package gesmc
+
+import "errors"
+
+// Typed errors returned by option validation and sampler construction.
+// All errors produced by this package wrap one of these sentinels, so
+// callers can classify failures with errors.Is.
+var (
+	// ErrNilTarget is returned when NewSampler receives a nil graph.
+	ErrNilTarget = errors.New("gesmc: nil sampling target")
+	// ErrUnknownAlgorithm is returned for Algorithm values outside the
+	// defined enum or unparseable algorithm names.
+	ErrUnknownAlgorithm = errors.New("gesmc: unknown algorithm")
+	// ErrUnsupportedAlgorithm is returned when the selected algorithm
+	// cannot drive the selected target class (e.g. Curveball on a
+	// digraph).
+	ErrUnsupportedAlgorithm = errors.New("gesmc: algorithm not supported for this target")
+	// ErrInvalidWorkers is returned for a negative or zero worker count
+	// passed to WithWorkers.
+	ErrInvalidWorkers = errors.New("gesmc: worker count must be at least 1")
+	// ErrInvalidLoopProb is returned for a loop probability outside
+	// [0, 1].
+	ErrInvalidLoopProb = errors.New("gesmc: loop probability must lie in [0, 1]")
+	// ErrInvalidSwapsPerEdge is returned for a non-positive or non-finite
+	// swaps-per-edge target.
+	ErrInvalidSwapsPerEdge = errors.New("gesmc: swaps per edge must be positive and finite")
+	// ErrInvalidBurnIn is returned for a burn-in below one superstep.
+	ErrInvalidBurnIn = errors.New("gesmc: burn-in must be at least 1 superstep")
+	// ErrInvalidThinning is returned for a thinning below one superstep.
+	ErrInvalidThinning = errors.New("gesmc: thinning must be at least 1 superstep")
+	// ErrInvalidSupersteps is returned when a negative superstep count is
+	// requested from Step.
+	ErrInvalidSupersteps = errors.New("gesmc: superstep count must be non-negative")
+	// ErrInvalidCount is returned for a negative ensemble size.
+	ErrInvalidCount = errors.New("gesmc: sample count must be non-negative")
+	// ErrGraphTooSmall is returned for target graphs with fewer than two
+	// edges, on which no switch (and no trade) is defined.
+	ErrGraphTooSmall = errors.New("gesmc: graph has fewer than 2 edges")
+)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -14,7 +15,7 @@ import (
 )
 
 func main() {
-	// Part 1: a realistic sequence.
+	// Part 1: a realistic sequence, via the one-call path.
 	degrees := []int{7, 6, 5, 4, 4, 3, 3, 3, 2, 2, 2, 2, 2, 1, 1, 1}
 	if !gesmc.IsGraphical(degrees) {
 		log.Fatal("sequence is not graphical")
@@ -32,20 +33,31 @@ func main() {
 
 	// Part 2: empirical uniformity on the 15 perfect matchings of K6
 	// (degree sequence 1,1,1,1,1,1) — the smallest state space where
-	// uniformity is easy to see by eye.
+	// uniformity is easy to see by eye. One Sampler streams the whole
+	// ensemble: the matching is realized once (Havel-Hakimi) and the
+	// chain never restarts, so the 25-superstep thinning between
+	// samples is the entire per-sample cost.
 	const runs = 6000
+	start, err := gesmc.FromDegrees([]int{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampler, err := gesmc.NewSampler(start,
+		gesmc.WithAlgorithm(gesmc.SeqGlobalES),
+		gesmc.WithBurnIn(25),
+		gesmc.WithThinning(25),
+		gesmc.WithLoopProb(0.05),
+		gesmc.WithSeed(99),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	counts := map[string]int{}
-	for r := 0; r < runs; r++ {
-		sample, _, err := gesmc.SampleFromDegrees([]int{1, 1, 1, 1, 1, 1}, gesmc.Options{
-			Algorithm:  gesmc.SeqGlobalES,
-			Supersteps: 25,
-			Seed:       uint64(r)*2654435761 + 99,
-			LoopProb:   0.05,
-		})
-		if err != nil {
-			log.Fatal(err)
+	for smp := range sampler.Ensemble(context.Background(), runs) {
+		if smp.Err != nil {
+			log.Fatal(smp.Err)
 		}
-		counts[key(sample)]++
+		counts[key(smp.Graph)]++
 	}
 	fmt.Printf("distribution over the %d perfect matchings of K6 (%d runs, expect ~%.0f each):\n",
 		len(counts), runs, float64(runs)/float64(len(counts)))

@@ -1,6 +1,9 @@
 // Scaling: compare all implementations on one graph and sweep the
 // worker count of ParGlobalES — a miniature of the paper's Table 4 and
-// Figure 6 through the public API.
+// Figure 6 through the public API. Every run goes through a Sampler,
+// so the comparison covers exactly the code path production callers
+// use; the algorithm sweep includes the Curveball trade chains, now
+// first-class public algorithms.
 package main
 
 import (
@@ -18,14 +21,26 @@ func main() {
 	}
 	fmt.Printf("workload: n=%d m=%d dmax=%d (20 supersteps each)\n\n", g.N(), g.M(), g.MaxDegree())
 
-	fmt.Println("algorithm comparison (P=1):")
-	for _, alg := range gesmc.Algorithms() {
-		c := g.Clone()
-		stats, err := gesmc.Randomize(c, gesmc.Options{Algorithm: alg, Workers: 1, Seed: 5})
+	run := func(alg gesmc.Algorithm, workers int) gesmc.Stats {
+		s, err := gesmc.NewSampler(g.Clone(),
+			gesmc.WithAlgorithm(alg),
+			gesmc.WithWorkers(workers),
+			gesmc.WithSeed(5),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-12s %10v  acceptance=%.3f\n",
+		stats, err := s.Step(20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return stats
+	}
+
+	fmt.Println("algorithm comparison (P=1):")
+	for _, alg := range gesmc.Algorithms() {
+		stats := run(alg, 1)
+		fmt.Printf("  %-16s %10v  acceptance=%.3f\n",
 			stats.Algorithm, stats.Duration.Round(10_000), float64(stats.Accepted)/float64(stats.Attempted))
 	}
 
@@ -33,11 +48,7 @@ func main() {
 	var base float64
 	maxP := runtime.GOMAXPROCS(0) * 4 // oversubscribe to show the trend even on small hosts
 	for p := 1; p <= maxP; p *= 2 {
-		c := g.Clone()
-		stats, err := gesmc.Randomize(c, gesmc.Options{Algorithm: gesmc.ParGlobalES, Workers: p, Seed: 5})
-		if err != nil {
-			log.Fatal(err)
-		}
+		stats := run(gesmc.ParGlobalES, p)
 		secs := stats.Duration.Seconds()
 		if p == 1 {
 			base = secs

@@ -1,0 +1,3 @@
+module gesmc
+
+go 1.24

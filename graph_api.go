@@ -5,6 +5,7 @@ import (
 
 	"gesmc/internal/gen"
 	"gesmc/internal/graph"
+	"gesmc/internal/hashset"
 	"gesmc/internal/rng"
 )
 
@@ -12,6 +13,10 @@ import (
 // state manipulated by the switching Markov chains.
 type Graph struct {
 	g *graph.Graph
+	// idx is the lazily built hash-set index behind HasEdge, dropped
+	// whenever the edge list is mutated through this package (Randomize,
+	// Sampler advances).
+	idx *hashset.Set
 }
 
 // NewGraph builds a graph with n nodes from (u, v) pairs. Loops,
@@ -119,17 +124,23 @@ func (g *Graph) Edges() [][2]uint32 {
 	return out
 }
 
-// HasEdge reports whether the edge {u, v} exists (O(m) scan; intended
-// for inspection, not hot loops).
+// HasEdge reports whether the edge {u, v} exists. The first query after
+// a mutation builds a hash-set index over the edge list (O(m) once);
+// subsequent queries are O(1), so scanning pairs against a settled
+// graph is cheap. Not safe for concurrent first use.
 func (g *Graph) HasEdge(u, v uint32) bool {
-	e := graph.MakeEdge(u, v)
-	for _, x := range g.g.Edges() {
-		if x == e {
-			return true
-		}
+	if u == v || int(u) >= g.g.N() || int(v) >= g.g.N() || g.g.M() == 0 {
+		return false
 	}
-	return false
+	if g.idx == nil {
+		g.idx = hashset.FromEdges(g.g.Edges(), 0.5)
+	}
+	return g.idx.Contains(graph.MakeEdge(u, v))
 }
+
+// invalidate drops the HasEdge index; called by every path that mutates
+// the edge list in place.
+func (g *Graph) invalidate() { g.idx = nil }
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph { return &Graph{g: g.g.Clone()} }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gesmc/internal/graph"
+)
+
+// ErrUnknownAlgorithm is returned by NewEngine for an Algorithm value
+// outside the defined enum.
+var ErrUnknownAlgorithm = errors.New("core: unknown algorithm")
+
+// stepper is the per-algorithm resumable state behind an Engine. step
+// advances exactly one superstep (⌊m/2⌋ switch attempts for ES-MC
+// chains, one global switch for G-ES-MC chains), accumulating counters
+// into stats; finish publishes any privately buffered edge state back to
+// the graph's edge list (a no-op for algorithms that mutate it in
+// place).
+type stepper interface {
+	step(stats *RunStats)
+	finish()
+}
+
+// Engine is a resumable Markov-chain run: the graph is compiled once
+// into the algorithm's working state (hash set, dependency table,
+// adjacency lists, RNG streams) by NewEngine, after which Steps advances
+// the chain in arbitrarily many increments without rebuilding anything.
+// A single Steps(ctx, k) call is bit-identical to the one-shot
+// Run(g, alg, k, cfg); splitting the same k across several calls yields
+// the same final edge list for every algorithm, because the switch
+// sequence drawn from the seed does not depend on the partitioning and
+// every implementation realizes sequential Definition-1 semantics over
+// that sequence.
+type Engine struct {
+	alg   Algorithm
+	st    stepper
+	stats RunStats
+}
+
+// NewEngine compiles the graph into the working state of the selected
+// algorithm. The graph is retained and mutated in place by Steps.
+func NewEngine(g *graph.Graph, alg Algorithm, cfg Config) (*Engine, error) {
+	if g.M() < 2 {
+		return nil, ErrTooSmall
+	}
+	var st stepper
+	switch alg {
+	case AlgSeqES:
+		st = newSeqESStepper(g, cfg)
+	case AlgSeqGlobalES:
+		st = newSeqGlobalStepper(g, cfg)
+	case AlgNaiveParES:
+		st = newNaiveStepper(g, cfg)
+	case AlgParES:
+		st = newParESStepper(g, cfg)
+	case AlgParGlobalES:
+		st = newParGlobalStepper(g, cfg)
+	case AlgAdjListES:
+		st = newAdjListStepper(g, cfg, false)
+	case AlgAdjSortES:
+		st = newAdjListStepper(g, cfg, true)
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+	e := &Engine{alg: alg, st: st}
+	e.stats.Algorithm = alg
+	return e, nil
+}
+
+// Algorithm returns the algorithm the engine runs.
+func (e *Engine) Algorithm() Algorithm { return e.alg }
+
+// Stats returns the counters accumulated over the engine's lifetime.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// Steps advances the chain by k supersteps and returns the statistics of
+// exactly this increment. Cancellation is honored at superstep
+// boundaries: on ctx expiry the graph is left in the valid state after
+// the last completed superstep and ctx.Err() is returned alongside the
+// partial statistics.
+func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
+	start := time.Now()
+	delta := RunStats{Algorithm: e.alg}
+	var err error
+	for i := 0; i < k; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		e.st.step(&delta)
+		delta.Supersteps++
+	}
+	e.st.finish()
+	delta.Duration = time.Since(start)
+	e.stats.Supersteps += delta.Supersteps
+	e.stats.Attempted += delta.Attempted
+	e.stats.Legal += delta.Legal
+	e.stats.InternalSupersteps += delta.InternalSupersteps
+	e.stats.TotalRounds += delta.TotalRounds
+	if delta.MaxRounds > e.stats.MaxRounds {
+		e.stats.MaxRounds = delta.MaxRounds
+	}
+	e.stats.FirstRoundTime += delta.FirstRoundTime
+	e.stats.LaterRoundsTime += delta.LaterRoundsTime
+	e.stats.Duration += delta.Duration
+	return delta, err
+}
+
+// runnerSnap tracks the last-seen counters of a SuperstepRunner so that
+// per-increment deltas can be carved out of its cumulative totals.
+// MaxRounds stays cumulative (a maximum does not decompose into deltas).
+type runnerSnap struct {
+	legal  int64
+	steps  int
+	rounds int64
+	first  time.Duration
+	later  time.Duration
+}
+
+func (s *runnerSnap) flushDelta(r *SuperstepRunner, stats *RunStats) {
+	stats.Legal += r.Legal - s.legal
+	stats.InternalSupersteps += r.InternalSupersteps - s.steps
+	stats.TotalRounds += r.TotalRounds - s.rounds
+	if r.MaxRounds > stats.MaxRounds {
+		stats.MaxRounds = r.MaxRounds
+	}
+	stats.FirstRoundTime += r.FirstRoundTime - s.first
+	stats.LaterRoundsTime += r.LaterRoundsTime - s.later
+	s.legal = r.Legal
+	s.steps = r.InternalSupersteps
+	s.rounds = r.TotalRounds
+	s.first = r.FirstRoundTime
+	s.later = r.LaterRoundsTime
+}

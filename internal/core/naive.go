@@ -8,74 +8,83 @@ import (
 	"gesmc/internal/rng"
 )
 
-// naiveParES is the simplistic parallel ES-MC baseline of §5.1: every
+// naiveStepper is the simplistic parallel ES-MC baseline of §5.1: every
 // worker performs switches independently, synchronizing only through
 // per-edge tickets (lock bytes) in the concurrent hash set. Conflicting
 // attempts are rolled back and counted as rejections. The implementation
 // ignores dependencies between switches and therefore does NOT faithfully
 // implement ES-MC (the paper makes the same caveat); it exists as the
 // performance baseline of Table 4.
-func naiveParES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
+type naiveStepper struct {
+	g     *graph.Graph
+	m, w  int
+	E     []uint64 // edge array with atomic element access (racy reads by design)
+	set   *conc.EdgeSet
+	seeds []uint64
+	idx   int // supersteps performed so far (feeds the stream mixer)
+}
+
+func newNaiveStepper(g *graph.Graph, cfg Config) stepper {
 	w := cfg.workers()
 	if w > 254 {
 		w = 254 // owner ids must fit the 8-bit lock byte
 	}
-
-	// Edge array with atomic element access (racy reads by design).
+	m := g.M()
 	E := make([]uint64, m)
 	for i, e := range g.Edges() {
 		E[i] = uint64(e)
 	}
 	set := conc.NewEdgeSet(2 * m)
 	set.BuildFrom(g.Edges(), w)
-
-	seeds := rng.PerWorkerSeeds(cfg.Seed, w)
-	stats := &RunStats{}
-	perStep := int64(m / 2)
-
-	for step := 0; step < supersteps; step++ {
-		legals := make([]int64, w)
-		conc.Run(w, func(worker int) {
-			// Decorrelate the (worker, step) streams through the full
-			// mixer: a plain additive stride equal to SplitMix64's
-			// gamma would make consecutive supersteps replay nearly
-			// the same stream.
-			src := rng.NewSplitMix64(rng.Mix64(seeds[worker] ^ (uint64(step)+1)*0xD1B54A32D192ED03))
-			owner := uint8(worker)
-			lo := perStep * int64(worker) / int64(w)
-			hi := perStep * int64(worker+1) / int64(w)
-			var legal int64
-			for a := lo; a < hi; a++ {
-				if naiveAttempt(E, set, m, owner, src) {
-					legal++
-				}
-			}
-			legals[worker] = legal
-		})
-		for _, l := range legals {
-			stats.Legal += l
-		}
-		stats.Attempted += perStep
-		// Quiescent point: drop accumulated tombstones if needed.
-		if set.NeedsCompact() {
-			edges := g.Edges()
-			for i := range edges {
-				edges[i] = graph.Edge(atomic.LoadUint64(&E[i]))
-			}
-			set.Compact(edges, w)
-		}
+	return &naiveStepper{
+		g: g, m: m, w: w, E: E, set: set,
+		seeds: rng.PerWorkerSeeds(cfg.Seed, w),
 	}
+}
 
-	// Write the final state back to the graph.
-	edges := g.Edges()
+func (s *naiveStepper) step(stats *RunStats) {
+	perStep := int64(s.m / 2)
+	legals := make([]int64, s.w)
+	step := s.idx
+	conc.Run(s.w, func(worker int) {
+		// Decorrelate the (worker, step) streams through the full
+		// mixer: a plain additive stride equal to SplitMix64's
+		// gamma would make consecutive supersteps replay nearly
+		// the same stream.
+		src := rng.NewSplitMix64(rng.Mix64(s.seeds[worker] ^ (uint64(step)+1)*0xD1B54A32D192ED03))
+		owner := uint8(worker)
+		lo := perStep * int64(worker) / int64(s.w)
+		hi := perStep * int64(worker+1) / int64(s.w)
+		var legal int64
+		for a := lo; a < hi; a++ {
+			if naiveAttempt(s.E, s.set, s.m, owner, src) {
+				legal++
+			}
+		}
+		legals[worker] = legal
+	})
+	for _, l := range legals {
+		stats.Legal += l
+	}
+	stats.Attempted += perStep
+	s.idx++
+	// Quiescent point: drop accumulated tombstones if needed.
+	if s.set.NeedsCompact() {
+		edges := s.g.Edges()
+		for i := range edges {
+			edges[i] = graph.Edge(atomic.LoadUint64(&s.E[i]))
+		}
+		s.set.Compact(edges, s.w)
+	}
+}
+
+// finish writes the edge array back to the graph's edge list; the array
+// remains the source of truth between increments.
+func (s *naiveStepper) finish() {
+	edges := s.g.Edges()
 	for i := range edges {
-		edges[i] = graph.Edge(E[i])
+		edges[i] = graph.Edge(s.E[i])
 	}
-	return stats, nil
 }
 
 // naiveAttempt performs one optimistic switch: sample indices, read the

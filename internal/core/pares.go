@@ -68,20 +68,27 @@ func FindCollisionFreePrefix(switches []Switch, workers int, minIdx []int32) int
 	return int(t)
 }
 
-// parES is the production ParES (Algorithm 2): pre-sample the full
-// switch sequence, then repeatedly locate the longest source-independent
-// prefix (expected length Θ(√m)) and execute it with ParallelSuperstep.
-func parES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+// parESStepper is the production ParES (Algorithm 2): pre-sample the
+// switch sequence of each superstep, then repeatedly locate the longest
+// source-independent prefix (expected length Θ(√m)) and execute it with
+// ParallelSuperstep. The window drains completely at every superstep
+// boundary so the graph is always in the state after a whole number of
+// supersteps; the decided edge list is identical to continuous
+// execution because every prefix realizes sequential semantics over the
+// same switch sequence.
+type parESStepper struct {
+	m, w    int
+	src     rng.Source
+	runner  *SuperstepRunner
+	pending []Switch
+	minIdx  []int32
+	window  int
+	snap    runnerSnap
+}
+
+func newParESStepper(g *graph.Graph, cfg Config) stepper {
 	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
 	w := cfg.workers()
-	src := rng.NewMT19937(cfg.Seed)
-	total := int64(supersteps) * int64(m/2)
-
-	stats := &RunStats{}
-
 	// Window of pre-sampled switches; refilled as prefixes are consumed.
 	// Supersteps are bounded by the window, so the dependency table is
 	// sized to it (expected prefix length is Θ(√m), far below m/2).
@@ -89,44 +96,47 @@ func parES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
 	if window < 256 {
 		window = 256
 	}
-	if int64(window) > total {
-		window = int(total)
-	}
 	if window > m/2 {
 		window = m / 2
 	}
 	runner := NewSuperstepRunner(g.Edges(), window, w)
 	runner.Pessimistic = cfg.PessimisticRounds
-	pending := make([]Switch, 0, window)
 	minIdx := make([]int32, m)
 	for i := range minIdx {
 		minIdx[i] = -1
 	}
-	var sampled int64
-
-	resetMinIdx := func(sw []Switch) {
-		for _, s := range sw {
-			minIdx[s.I] = -1
-			minIdx[s.J] = -1
-		}
+	return &parESStepper{
+		m: m, w: w,
+		src:     rng.NewMT19937(cfg.Seed),
+		runner:  runner,
+		pending: make([]Switch, 0, window),
+		minIdx:  minIdx,
+		window:  window,
 	}
-
-	for sampled < total || len(pending) > 0 {
-		// Refill the window.
-		for len(pending) < window && sampled < total {
-			i, j := rng.TwoDistinct(src, m)
-			pending = append(pending, Switch{I: uint32(i), J: uint32(j), G: rng.Bool(src)})
-			sampled++
-		}
-		t := FindCollisionFreePrefix(pending, w, minIdx)
-		resetMinIdx(pending)
-		runner.Run(pending[:t])
-		stats.Attempted += int64(t)
-		pending = pending[:copy(pending, pending[t:])]
-	}
-	runner.FlushStats(stats)
-	return stats, nil
 }
+
+func (s *parESStepper) step(stats *RunStats) {
+	toSample := s.m / 2
+	for toSample > 0 || len(s.pending) > 0 {
+		// Refill the window.
+		for len(s.pending) < s.window && toSample > 0 {
+			i, j := rng.TwoDistinct(s.src, s.m)
+			s.pending = append(s.pending, Switch{I: uint32(i), J: uint32(j), G: rng.Bool(s.src)})
+			toSample--
+		}
+		t := FindCollisionFreePrefix(s.pending, s.w, s.minIdx)
+		for _, sw := range s.pending {
+			s.minIdx[sw.I] = -1
+			s.minIdx[sw.J] = -1
+		}
+		s.runner.Run(s.pending[:t])
+		stats.Attempted += int64(t)
+		s.pending = s.pending[:copy(s.pending, s.pending[t:])]
+	}
+	s.snap.flushDelta(s.runner, stats)
+}
+
+func (s *parESStepper) finish() {}
 
 func isqrt(n int) int {
 	if n <= 0 {

@@ -15,41 +15,43 @@ func ExecuteGlobalParallel(r *SuperstepRunner, perm []uint32, l int, buf []Switc
 	return buf
 }
 
-// parGlobalES is the production ParGlobalES (Algorithm 3): per
+// parGlobalStepper is the production ParGlobalES (Algorithm 3): per
 // superstep, draw a parallel random permutation of the edge indices and
-// ℓ ~ Binom(⌊m/2⌋, 1−P_L), then run one ParallelSuperstep.
-func parGlobalES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
+// ℓ ~ Binom(⌊m/2⌋, 1−P_L), then run one ParallelSuperstep. The
+// per-superstep permutation seeds are drawn lazily from the same
+// SplitMix64 stream the one-shot implementation pre-computed, so a
+// resumed engine replays the identical chain.
+type parGlobalStepper struct {
+	m, w    int
+	src     rng.Source      // binomial ℓ draws
+	seedSrc *rng.SplitMix64 // per-superstep permutation seeds
+	runner  *SuperstepRunner
+	buf     []Switch
+	pl      float64
+	snap    runnerSnap
+}
+
+func newParGlobalStepper(g *graph.Graph, cfg Config) stepper {
 	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
 	w := cfg.workers()
-	src := rng.NewMT19937(cfg.Seed)
-	seeds := rng.PerWorkerSeeds(cfg.Seed^0xA5A5A5A5A5A5A5A5, supersteps+1)
 	runner := NewSuperstepRunner(g.Edges(), m/2, w)
 	runner.Pessimistic = cfg.PessimisticRounds
-	buf := make([]Switch, 0, m/2)
-	pl := cfg.loopProb()
-	stats := &RunStats{}
-
-	for step := 0; step < supersteps; step++ {
-		perm := rng.ParallelPerm(seeds[step], m, w)
-		l := int(rng.BinomialComplementSmall(src, int64(m/2), pl))
-		buf = ExecuteGlobalParallel(runner, perm, l, buf)
-		stats.Attempted += int64(l)
+	return &parGlobalStepper{
+		m: m, w: w,
+		src:     rng.NewMT19937(cfg.Seed),
+		seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
+		runner:  runner,
+		buf:     make([]Switch, 0, m/2),
+		pl:      cfg.loopProb(),
 	}
-	runner.FlushStats(stats)
-	return stats, nil
 }
 
-// FlushStats copies the runner's accumulated instrumentation into stats.
-func (r *SuperstepRunner) FlushStats(stats *RunStats) {
-	stats.Legal += r.Legal
-	stats.InternalSupersteps += r.InternalSupersteps
-	stats.TotalRounds += r.TotalRounds
-	if r.MaxRounds > stats.MaxRounds {
-		stats.MaxRounds = r.MaxRounds
-	}
-	stats.FirstRoundTime += r.FirstRoundTime
-	stats.LaterRoundsTime += r.LaterRoundsTime
+func (s *parGlobalStepper) step(stats *RunStats) {
+	perm := rng.ParallelPerm(s.seedSrc.Uint64(), s.m, s.w)
+	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
+	s.buf = ExecuteGlobalParallel(s.runner, perm, l, s.buf)
+	stats.Attempted += int64(l)
+	s.snap.flushDelta(s.runner, stats)
 }
+
+func (s *parGlobalStepper) finish() {}

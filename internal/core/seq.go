@@ -74,78 +74,100 @@ func executeSequentialPrefetch(E []graph.Edge, S *hashset.Set, switches []Switch
 	return legal
 }
 
-// seqES is the production sequential ES-MC: supersteps * floor(m/2)
-// uniformly random switches, executed per Definition 1 (§5's SeqES).
-func seqES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
-	src := rng.NewMT19937(cfg.Seed)
+// seqESStepper is the production sequential ES-MC (§5's SeqES): per
+// superstep, floor(m/2) uniformly random switches executed per
+// Definition 1 on the persistent edge array plus hash set.
+type seqESStepper struct {
+	m        int
+	E        []graph.Edge
+	S        *hashset.Set
+	src      rng.Source
+	prefetch bool
+	buf      []Switch
+}
+
+const seqChunk = 1 << 12
+
+func newSeqESStepper(g *graph.Graph, cfg Config) stepper {
 	E := g.Edges()
 	S := hashset.FromEdges(E, 0.5)
-	stats := &RunStats{}
-	total := int64(supersteps) * int64(m/2)
-
+	src := rng.NewMT19937(cfg.Seed)
 	if cfg.SampleViaBuckets {
-		return seqESBuckets(E, S, total, src, stats)
+		// Keep an index for write-back: position of each edge in E.
+		pos := make(map[graph.Edge]int, len(E))
+		for i, e := range E {
+			pos[e] = i
+		}
+		return &seqBucketsStepper{m: g.M(), E: E, S: S, src: src, pos: pos}
 	}
+	return &seqESStepper{
+		m: g.M(), E: E, S: S, src: src,
+		prefetch: cfg.Prefetch,
+		buf:      make([]Switch, 0, seqChunk),
+	}
+}
 
-	const chunk = 1 << 12
-	buf := make([]Switch, 0, chunk)
-	for done := int64(0); done < total; {
-		take := total - done
-		if take > chunk {
-			take = chunk
+func (s *seqESStepper) step(stats *RunStats) {
+	perStep := int64(s.m / 2)
+	for done := int64(0); done < perStep; {
+		take := perStep - done
+		if take > seqChunk {
+			take = seqChunk
 		}
-		buf = buf[:take]
+		buf := s.buf[:take]
 		for k := range buf {
-			i, j := rng.TwoDistinct(src, m)
-			buf[k] = Switch{I: uint32(i), J: uint32(j), G: rng.Bool(src)}
+			i, j := rng.TwoDistinct(s.src, s.m)
+			buf[k] = Switch{I: uint32(i), J: uint32(j), G: rng.Bool(s.src)}
 		}
-		if cfg.Prefetch {
-			stats.Legal += executeSequentialPrefetch(E, S, buf)
+		if s.prefetch {
+			stats.Legal += executeSequentialPrefetch(s.E, s.S, buf)
 		} else {
-			stats.Legal += ExecuteSequential(E, S, buf)
+			stats.Legal += ExecuteSequential(s.E, s.S, buf)
 		}
 		done += take
 	}
-	stats.Attempted = total
-	return stats, nil
+	stats.Attempted += perStep
 }
 
-// seqESBuckets runs ES-MC sampling the two edges directly from the hash
-// set by random-bucket probing (§5.3 second option). The chain is
+func (s *seqESStepper) finish() {}
+
+// seqBucketsStepper runs ES-MC sampling the two edges directly from the
+// hash set by random-bucket probing (§5.3 second option). The chain is
 // equivalent: a switch is an unordered pair of distinct edges plus a
 // direction bit, independent of edge-list indexing; the edge array is
 // still maintained only implicitly via the set.
-func seqESBuckets(E []graph.Edge, S *hashset.Set, total int64, src rng.Source, stats *RunStats) (*RunStats, error) {
-	// Keep an index for final write-back: position of each edge in E.
-	pos := make(map[graph.Edge]int, len(E))
-	for i, e := range E {
-		pos[e] = i
-	}
-	for k := int64(0); k < total; k++ {
-		e1 := S.SampleBucket(src)
-		e2 := S.SampleBucket(src)
+type seqBucketsStepper struct {
+	m   int
+	E   []graph.Edge
+	S   *hashset.Set
+	src rng.Source
+	pos map[graph.Edge]int
+}
+
+func (s *seqBucketsStepper) step(stats *RunStats) {
+	perStep := int64(s.m / 2)
+	for k := int64(0); k < perStep; k++ {
+		e1 := s.S.SampleBucket(s.src)
+		e2 := s.S.SampleBucket(s.src)
 		if e1 == e2 {
 			continue // resample counts as rejection (prob 1/m)
 		}
-		t3, t4 := graph.SwitchTargets(e1, e2, rng.Bool(src))
-		if t3.IsLoop() || t4.IsLoop() || S.Contains(t3) || S.Contains(t4) {
+		t3, t4 := graph.SwitchTargets(e1, e2, rng.Bool(s.src))
+		if t3.IsLoop() || t4.IsLoop() || s.S.Contains(t3) || s.S.Contains(t4) {
 			continue
 		}
-		S.Erase(e1)
-		S.Erase(e2)
-		S.Insert(t3)
-		S.Insert(t4)
-		i, j := pos[e1], pos[e2]
-		delete(pos, e1)
-		delete(pos, e2)
-		E[i], E[j] = t3, t4
-		pos[t3], pos[t4] = i, j
+		s.S.Erase(e1)
+		s.S.Erase(e2)
+		s.S.Insert(t3)
+		s.S.Insert(t4)
+		i, j := s.pos[e1], s.pos[e2]
+		delete(s.pos, e1)
+		delete(s.pos, e2)
+		s.E[i], s.E[j] = t3, t4
+		s.pos[t3], s.pos[t4] = i, j
 		stats.Legal++
 	}
-	stats.Attempted = total
-	return stats, nil
+	stats.Attempted += perStep
 }
+
+func (s *seqBucketsStepper) finish() {}

@@ -14,30 +14,39 @@ func ExecuteGlobalSequential(E []graph.Edge, S *hashset.Set, perm []uint32, l in
 	return ExecuteSequential(E, S, buf), buf
 }
 
-// seqGlobalES is the production sequential G-ES-MC (§5's SeqGlobalES):
-// each superstep shuffles the edge indices, draws ℓ, and executes the
-// resulting switches in order.
-func seqGlobalES(g *graph.Graph, supersteps int, cfg Config) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
-	src := rng.NewMT19937(cfg.Seed)
-	E := g.Edges()
-	S := hashset.FromEdges(E, 0.5)
-	stats := &RunStats{}
-	buf := make([]Switch, 0, m/2)
-	pl := cfg.loopProb()
-
-	for step := 0; step < supersteps; step++ {
-		perm, l := SampleGlobalSwitch(m, pl, src)
-		buf = GlobalSwitches(perm, l, buf)
-		if cfg.Prefetch {
-			stats.Legal += executeSequentialPrefetch(E, S, buf)
-		} else {
-			stats.Legal += ExecuteSequential(E, S, buf)
-		}
-		stats.Attempted += int64(l)
-	}
-	return stats, nil
+// seqGlobalStepper is the production sequential G-ES-MC (§5's
+// SeqGlobalES): each superstep shuffles the edge indices, draws ℓ, and
+// executes the resulting switches in order.
+type seqGlobalStepper struct {
+	m        int
+	E        []graph.Edge
+	S        *hashset.Set
+	src      rng.Source
+	prefetch bool
+	pl       float64
+	buf      []Switch
 }
+
+func newSeqGlobalStepper(g *graph.Graph, cfg Config) stepper {
+	E := g.Edges()
+	return &seqGlobalStepper{
+		m: g.M(), E: E, S: hashset.FromEdges(E, 0.5),
+		src:      rng.NewMT19937(cfg.Seed),
+		prefetch: cfg.Prefetch,
+		pl:       cfg.loopProb(),
+		buf:      make([]Switch, 0, g.M()/2),
+	}
+}
+
+func (s *seqGlobalStepper) step(stats *RunStats) {
+	perm, l := SampleGlobalSwitch(s.m, s.pl, s.src)
+	s.buf = GlobalSwitches(perm, l, s.buf)
+	if s.prefetch {
+		stats.Legal += executeSequentialPrefetch(s.E, s.S, s.buf)
+	} else {
+		stats.Legal += ExecuteSequential(s.E, s.S, s.buf)
+	}
+	stats.Attempted += int64(l)
+}
+
+func (s *seqGlobalStepper) finish() {}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"gesmc/internal/graph"
@@ -196,34 +197,20 @@ func SampleGlobalSwitch(m int, loopProb float64, src rng.Source) ([]uint32, int)
 // Run executes the selected algorithm for the given number of supersteps
 // (one superstep = ⌊m/2⌋ switch attempts for ES-MC chains, one global
 // switch for G-ES-MC chains, matching §6.1's normalization) and returns
-// statistics. The graph is randomized in place.
+// statistics. The graph is randomized in place. Run is the one-shot form
+// of NewEngine + Steps; callers that draw many samples from one graph
+// should hold on to an Engine instead so the edge-set/adjacency state is
+// built only once.
 func Run(g *graph.Graph, alg Algorithm, supersteps int, cfg Config) (*RunStats, error) {
 	start := time.Now()
-	var stats *RunStats
-	var err error
-	switch alg {
-	case AlgSeqES:
-		stats, err = seqES(g, supersteps, cfg)
-	case AlgSeqGlobalES:
-		stats, err = seqGlobalES(g, supersteps, cfg)
-	case AlgNaiveParES:
-		stats, err = naiveParES(g, supersteps, cfg)
-	case AlgParES:
-		stats, err = parES(g, supersteps, cfg)
-	case AlgParGlobalES:
-		stats, err = parGlobalES(g, supersteps, cfg)
-	case AlgAdjListES:
-		stats, err = adjListES(g, supersteps, cfg, false)
-	case AlgAdjSortES:
-		stats, err = adjListES(g, supersteps, cfg, true)
-	default:
-		panic("core: unknown algorithm")
-	}
+	e, err := NewEngine(g, alg, cfg)
 	if err != nil {
 		return nil, err
 	}
-	stats.Algorithm = alg
-	stats.Supersteps = supersteps
+	stats, err := e.Steps(context.Background(), supersteps)
+	if err != nil {
+		return nil, err
+	}
 	stats.Duration = time.Since(start)
-	return stats, nil
+	return &stats, nil
 }

@@ -49,6 +49,21 @@ func (s *State) Graph() *graph.Graph {
 	return graph.NewUnchecked(s.n, edges)
 }
 
+// WriteEdges writes the current edge set into dst, which must have
+// length equal to the state's edge count (trades preserve it). The
+// order is the set's deterministic iteration order, so resumed runs
+// with the same seed produce identical edge lists.
+func (s *State) WriteEdges(dst []graph.Edge) {
+	i := 0
+	s.set.ForEach(func(e graph.Edge) {
+		dst[i] = e
+		i++
+	})
+	if i != len(dst) {
+		panic("curveball: edge count drifted")
+	}
+}
+
 // Contains reports whether the edge {u, v} currently exists.
 func (s *State) Contains(u, v graph.Node) bool {
 	return s.set.Contains(graph.MakeEdge(u, v))

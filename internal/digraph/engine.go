@@ -1,0 +1,210 @@
+package digraph
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gesmc/internal/rng"
+)
+
+// Algorithm selects a directed switching implementation. Directed
+// switches need no direction bit, and ES-MC's data-structure ablations
+// add nothing in the directed setting, so only three chains exist.
+type Algorithm int
+
+const (
+	// AlgSeqES is the sequential directed ES-MC.
+	AlgSeqES Algorithm = iota
+	// AlgSeqGlobalES is the sequential directed G-ES-MC.
+	AlgSeqGlobalES
+	// AlgParGlobalES is the parallel directed G-ES-MC.
+	AlgParGlobalES
+)
+
+// ErrUnknownAlgorithm is returned by NewEngine for an Algorithm value
+// outside the defined enum.
+var ErrUnknownAlgorithm = errors.New("digraph: unknown algorithm")
+
+// Config carries the tuning knobs shared by the directed chains.
+type Config struct {
+	// Workers is the parallelism degree of AlgParGlobalES; zero means 1.
+	Workers int
+	// Seed seeds all randomness.
+	Seed uint64
+	// LoopProb is P_L of G-ES-MC; zero selects the default 1e-6.
+	LoopProb float64
+}
+
+func (c Config) loopProb() float64 {
+	if c.LoopProb <= 0 {
+		return 1e-6
+	}
+	return c.LoopProb
+}
+
+// stepper is the per-algorithm resumable state behind an Engine, the
+// directed mirror of core's stepper.
+type stepper interface {
+	step(stats *RunStats)
+}
+
+// Engine is a resumable directed randomization run: NewEngine compiles
+// the digraph once into the chain's working state (arc set, dependency
+// table, RNG streams); Steps advances the chain in arbitrarily many
+// increments without rebuilding it. A single Steps(ctx, k) call is
+// bit-identical to the one-shot SeqES/SeqGlobalES/ParGlobalES with the
+// same parameters.
+type Engine struct {
+	alg   Algorithm
+	st    stepper
+	stats RunStats
+}
+
+// NewEngine compiles the digraph into the working state of the selected
+// algorithm. The digraph is retained and mutated in place by Steps.
+func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
+	if g.M() < 2 {
+		return nil, ErrTooSmall
+	}
+	var st stepper
+	switch alg {
+	case AlgSeqES:
+		st = &dirSeqESStepper{
+			m: g.M(), A: g.Arcs(), S: g.ArcSet(),
+			src: rng.NewMT19937(cfg.Seed),
+		}
+	case AlgSeqGlobalES:
+		st = &dirSeqGlobalStepper{
+			m: g.M(), A: g.Arcs(), S: g.ArcSet(),
+			src: rng.NewMT19937(cfg.Seed),
+			pl:  cfg.loopProb(),
+		}
+	case AlgParGlobalES:
+		w := cfg.Workers
+		if w < 1 {
+			w = 1
+		}
+		st = &dirParGlobalStepper{
+			m: g.M(), w: w,
+			src:     rng.NewMT19937(cfg.Seed),
+			seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0x5DEECE66D),
+			runner:  NewSuperstepRunner(g.Arcs(), g.M()/2, w),
+			pl:      cfg.loopProb(),
+		}
+	default:
+		return nil, ErrUnknownAlgorithm
+	}
+	return &Engine{alg: alg, st: st}, nil
+}
+
+// Algorithm returns the algorithm the engine runs.
+func (e *Engine) Algorithm() Algorithm { return e.alg }
+
+// Stats returns the counters accumulated over the engine's lifetime.
+func (e *Engine) Stats() RunStats { return e.stats }
+
+// Steps advances the chain by k supersteps and returns the statistics
+// of exactly this increment. Cancellation is honored at superstep
+// boundaries, leaving the digraph in the valid state after the last
+// completed superstep.
+func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
+	start := time.Now()
+	var delta RunStats
+	var err error
+	for i := 0; i < k; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		e.st.step(&delta)
+		delta.Supersteps++
+	}
+	if delta.InternalSupersteps > 0 {
+		delta.AvgRounds = float64(delta.TotalRounds) / float64(delta.InternalSupersteps)
+	}
+	delta.Duration = time.Since(start)
+	e.stats.Supersteps += delta.Supersteps
+	e.stats.Attempted += delta.Attempted
+	e.stats.Legal += delta.Legal
+	e.stats.InternalSupersteps += delta.InternalSupersteps
+	e.stats.TotalRounds += delta.TotalRounds
+	if delta.MaxRounds > e.stats.MaxRounds {
+		e.stats.MaxRounds = delta.MaxRounds
+	}
+	if e.stats.InternalSupersteps > 0 {
+		e.stats.AvgRounds = float64(e.stats.TotalRounds) / float64(e.stats.InternalSupersteps)
+	}
+	e.stats.Duration += delta.Duration
+	return delta, err
+}
+
+// dirSeqESStepper: one superstep = ⌊m/2⌋ uniform directed switches.
+type dirSeqESStepper struct {
+	m   int
+	A   []Arc
+	S   map[Arc]struct{}
+	src rng.Source
+	one [1]Switch
+}
+
+func (s *dirSeqESStepper) step(stats *RunStats) {
+	perStep := int64(s.m / 2)
+	for a := int64(0); a < perStep; a++ {
+		i, j := rng.TwoDistinct(s.src, s.m)
+		s.one[0] = Switch{I: uint32(i), J: uint32(j)}
+		stats.Legal += ExecuteSequential(s.A, s.S, s.one[:])
+	}
+	stats.Attempted += perStep
+}
+
+// dirSeqGlobalStepper: one superstep = one global switch, sequentially.
+type dirSeqGlobalStepper struct {
+	m   int
+	A   []Arc
+	S   map[Arc]struct{}
+	src rng.Source
+	pl  float64
+	buf []Switch
+}
+
+func (s *dirSeqGlobalStepper) step(stats *RunStats) {
+	perm := rng.Perm(s.src, s.m)
+	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
+	s.buf = GlobalSwitches(perm, l, s.buf)
+	stats.Legal += ExecuteSequential(s.A, s.S, s.buf)
+	stats.Attempted += int64(l)
+}
+
+// dirParGlobalStepper: one superstep = one global switch decided by the
+// parallel superstep runner. Permutation seeds are drawn lazily from
+// the same SplitMix64 stream ParGlobalES pre-computed.
+type dirParGlobalStepper struct {
+	m, w    int
+	src     rng.Source
+	seedSrc *rng.SplitMix64
+	runner  *SuperstepRunner
+	buf     []Switch
+	pl      float64
+
+	prevLegal  int64
+	prevSteps  int
+	prevRounds int64
+}
+
+func (s *dirParGlobalStepper) step(stats *RunStats) {
+	perm := rng.ParallelPerm(s.seedSrc.Uint64(), s.m, s.w)
+	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
+	s.buf = GlobalSwitches(perm, l, s.buf)
+	s.runner.Run(s.buf)
+	stats.Attempted += int64(l)
+	stats.Legal += s.runner.Legal - s.prevLegal
+	stats.InternalSupersteps += s.runner.InternalSupersteps - s.prevSteps
+	stats.TotalRounds += s.runner.TotalRounds - s.prevRounds
+	if s.runner.MaxRounds > stats.MaxRounds {
+		stats.MaxRounds = s.runner.MaxRounds
+	}
+	s.prevLegal = s.runner.Legal
+	s.prevSteps = s.runner.InternalSupersteps
+	s.prevRounds = s.runner.TotalRounds
+}

@@ -1,12 +1,12 @@
 package digraph
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"gesmc/internal/conc"
 	"gesmc/internal/graph"
-	"gesmc/internal/rng"
 )
 
 // Switch is one directed edge switch: two arc-list indices. Directed
@@ -264,89 +264,44 @@ type RunStats struct {
 	Supersteps int
 	Attempted  int64
 	Legal      int64
-	AvgRounds  float64
-	MaxRounds  int
-	Duration   time.Duration
+	// Parallel superstep instrumentation (zero for sequential chains).
+	InternalSupersteps int
+	TotalRounds        int64
+	AvgRounds          float64
+	MaxRounds          int
+	Duration           time.Duration
+}
+
+// run is the shared one-shot wrapper over NewEngine + Steps.
+func run(g *DiGraph, alg Algorithm, supersteps int, cfg Config) (*RunStats, error) {
+	start := time.Now()
+	e, err := NewEngine(g, alg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := e.Steps(context.Background(), supersteps)
+	if err != nil {
+		return nil, err
+	}
+	stats.Duration = time.Since(start)
+	return &stats, nil
 }
 
 // ParGlobalES runs the directed G-ES-MC in parallel: per superstep a
 // parallel random permutation pairs all arcs, ℓ ~ Binom(⌊m/2⌋, 1−P_L)
-// switches execute as one parallel superstep.
+// switches execute as one parallel superstep. One-shot form of
+// NewEngine(g, AlgParGlobalES, ...) + Steps.
 func ParGlobalES(g *DiGraph, supersteps, workers int, loopProb float64, seed uint64) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
-	if loopProb <= 0 {
-		loopProb = 1e-6
-	}
-	start := time.Now()
-	src := rng.NewMT19937(seed)
-	seeds := rng.PerWorkerSeeds(seed^0x5DEECE66D, supersteps+1)
-	r := NewSuperstepRunner(g.Arcs(), m/2, workers)
-	var buf []Switch
-	stats := &RunStats{Supersteps: supersteps}
-	for step := 0; step < supersteps; step++ {
-		perm := rng.ParallelPerm(seeds[step], m, workers)
-		l := int(rng.BinomialComplementSmall(src, int64(m/2), loopProb))
-		buf = GlobalSwitches(perm, l, buf)
-		r.Run(buf)
-		stats.Attempted += int64(l)
-	}
-	stats.Legal = r.Legal
-	if r.InternalSupersteps > 0 {
-		stats.AvgRounds = float64(r.TotalRounds) / float64(r.InternalSupersteps)
-	}
-	stats.MaxRounds = r.MaxRounds
-	stats.Duration = time.Since(start)
-	return stats, nil
+	return run(g, AlgParGlobalES, supersteps, Config{Workers: workers, LoopProb: loopProb, Seed: seed})
 }
 
 // SeqGlobalES is the sequential directed G-ES-MC reference.
 func SeqGlobalES(g *DiGraph, supersteps int, loopProb float64, seed uint64) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
-	if loopProb <= 0 {
-		loopProb = 1e-6
-	}
-	start := time.Now()
-	src := rng.NewMT19937(seed)
-	A := g.Arcs()
-	S := g.ArcSet()
-	var buf []Switch
-	stats := &RunStats{Supersteps: supersteps}
-	for step := 0; step < supersteps; step++ {
-		perm := rng.Perm(src, m)
-		l := int(rng.BinomialComplementSmall(src, int64(m/2), loopProb))
-		buf = GlobalSwitches(perm, l, buf)
-		stats.Legal += ExecuteSequential(A, S, buf)
-		stats.Attempted += int64(l)
-	}
-	stats.Duration = time.Since(start)
-	return stats, nil
+	return run(g, AlgSeqGlobalES, supersteps, Config{LoopProb: loopProb, Seed: seed})
 }
 
 // SeqES is the sequential directed ES-MC: supersteps × ⌊m/2⌋ uniform
 // switches.
 func SeqES(g *DiGraph, supersteps int, seed uint64) (*RunStats, error) {
-	m := g.M()
-	if m < 2 {
-		return nil, ErrTooSmall
-	}
-	start := time.Now()
-	src := rng.NewMT19937(seed)
-	A := g.Arcs()
-	S := g.ArcSet()
-	total := int64(supersteps) * int64(m/2)
-	stats := &RunStats{Supersteps: supersteps, Attempted: total}
-	one := make([]Switch, 1)
-	for a := int64(0); a < total; a++ {
-		i, j := rng.TwoDistinct(src, m)
-		one[0] = Switch{I: uint32(i), J: uint32(j)}
-		stats.Legal += ExecuteSequential(A, S, one)
-	}
-	stats.Duration = time.Since(start)
-	return stats, nil
+	return run(g, AlgSeqES, supersteps, Config{Seed: seed})
 }

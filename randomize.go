@@ -1,7 +1,6 @@
 package gesmc
 
 import (
-	"errors"
 	"math"
 	"time"
 
@@ -9,7 +8,8 @@ import (
 	"gesmc/internal/core"
 )
 
-// Algorithm selects a switching implementation (paper names).
+// Algorithm selects a switching implementation (paper names), plus the
+// related Curveball trade chains.
 type Algorithm int
 
 const (
@@ -31,6 +31,16 @@ const (
 	// AdjSortES is the sorted adjacency-list sequential baseline
 	// (Gengraph-style data structure).
 	AdjSortES
+	// Curveball is the Curveball trade chain (Carstens, Berger & Strona
+	// 2016): one superstep performs ⌊n/2⌋ uniformly random trades, each
+	// shuffling the disjoint neighborhoods of two nodes. Undirected
+	// targets only.
+	Curveball
+	// GlobalCurveball is the Global Curveball chain (Carstens et al.,
+	// ESA 2018), the trade analogue of G-ES-MC: one superstep is one
+	// global trade pairing every node exactly once. Undirected targets
+	// only.
+	GlobalCurveball
 )
 
 var algNames = map[Algorithm]core.Algorithm{
@@ -43,34 +53,69 @@ var algNames = map[Algorithm]core.Algorithm{
 	AdjSortES:   core.AlgAdjSortES,
 }
 
+// curveballNames names the trade chains, which have no core counterpart.
+var curveballNames = map[Algorithm]string{
+	Curveball:       "Curveball",
+	GlobalCurveball: "GlobalCurveball",
+}
+
+// valid reports whether a is a defined Algorithm value.
+func (a Algorithm) valid() bool {
+	if _, ok := algNames[a]; ok {
+		return true
+	}
+	_, ok := curveballNames[a]
+	return ok
+}
+
 // String returns the paper's name for the implementation.
 func (a Algorithm) String() string {
 	if ca, ok := algNames[a]; ok {
 		return ca.String()
+	}
+	if name, ok := curveballNames[a]; ok {
+		return name
 	}
 	return "unknown"
 }
 
 // ParseAlgorithm maps a name (as printed by String) to an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	for a, ca := range algNames {
-		if ca.String() == name {
+	for _, a := range Algorithms() {
+		if a.String() == name {
 			return a, nil
 		}
 	}
-	return 0, errors.New("gesmc: unknown algorithm " + name)
+	return 0, &ParseError{Name: name}
 }
+
+// ParseError reports an unknown algorithm name. It wraps
+// ErrUnknownAlgorithm for errors.Is classification.
+type ParseError struct{ Name string }
+
+func (e *ParseError) Error() string { return "gesmc: unknown algorithm " + e.Name }
+func (e *ParseError) Unwrap() error { return ErrUnknownAlgorithm }
 
 // Algorithms lists all implementations in a stable order.
 func Algorithms() []Algorithm {
-	return []Algorithm{SeqES, SeqGlobalES, NaiveParES, ParES, ParGlobalES, AdjListES, AdjSortES}
+	return []Algorithm{
+		SeqES, SeqGlobalES, NaiveParES, ParES, ParGlobalES,
+		AdjListES, AdjSortES, Curveball, GlobalCurveball,
+	}
 }
 
-// Options configures Randomize.
+// Options configures the legacy one-shot entry points Randomize,
+// RandomizeDirected, and SampleFromDegrees.
+//
+// Deprecated: new code should use NewSampler with functional options
+// (WithAlgorithm, WithWorkers, WithSeed, WithThinning, ...), which
+// validates its inputs and amortizes engine setup across samples.
+// Options remains supported as a thin conversion layer.
 type Options struct {
 	// Algorithm selects the implementation; default ParGlobalES.
 	Algorithm Algorithm
-	// Workers is the parallelism degree P; default 1.
+	// Workers is the parallelism degree P; default 1. Negative values
+	// are rejected with ErrInvalidWorkers.
 	Workers int
 	// SwapsPerEdge requests enough supersteps that the expected number
 	// of switch attempts is SwapsPerEdge per edge. The paper (and the
@@ -85,6 +130,7 @@ type Options struct {
 	// are deterministic.
 	Seed uint64
 	// LoopProb is the P_L of G-ES-MC (Definition 3); default 1e-6.
+	// Values outside [0, 1] are rejected with ErrInvalidLoopProb.
 	LoopProb float64
 	// Prefetch enables the hash-bucket pre-touch pipeline (§5.4).
 	Prefetch bool
@@ -104,12 +150,33 @@ func (o Options) supersteps() int {
 	return int(math.Ceil(2 * spe))
 }
 
-// Stats reports what a Randomize run did.
+// samplerOptions converts the legacy struct to functional options.
+// Zero values keep their legacy "use the default" meaning; out-of-range
+// values surface the typed validation errors.
+func (o Options) samplerOptions() []Option {
+	opts := []Option{WithAlgorithm(o.Algorithm), WithSeed(o.Seed)}
+	if o.Workers != 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.LoopProb != 0 {
+		opts = append(opts, WithLoopProb(o.LoopProb))
+	}
+	if o.Prefetch {
+		opts = append(opts, WithPrefetch(true))
+	}
+	if o.SampleViaBuckets {
+		opts = append(opts, WithSampleViaBuckets(true))
+	}
+	return opts
+}
+
+// Stats reports what a randomization run did.
 type Stats struct {
 	Algorithm  string
 	Supersteps int
 	// Attempted and Accepted count switches; Accepted/Attempted is the
-	// acceptance rate of the chain.
+	// acceptance rate of the chain. (Curveball trades are never
+	// rejected, so there the two are equal.)
 	Attempted int64
 	Accepted  int64
 	// Rounds instrumentation of the parallel supersteps (zero for
@@ -127,39 +194,29 @@ type Stats struct {
 // preserved; after enough supersteps (default 20) the result is an
 // approximately uniform sample from the set of simple graphs with g's
 // degrees.
+//
+// Randomize is the one-shot form of NewSampler(g, ...) followed by one
+// Step call: every invocation rebuilds the engine's edge-set state from
+// scratch. Callers drawing many samples from the same graph should hold
+// a Sampler (see Ensemble) to amortize that setup.
 func Randomize(g *Graph, opt Options) (Stats, error) {
-	ca, ok := algNames[opt.Algorithm]
-	if !ok {
-		return Stats{}, errors.New("gesmc: unknown algorithm")
-	}
-	rs, err := core.Run(g.raw(), ca, opt.supersteps(), core.Config{
-		Workers:          opt.Workers,
-		Seed:             opt.Seed,
-		LoopProb:         opt.LoopProb,
-		Prefetch:         opt.Prefetch,
-		SampleViaBuckets: opt.SampleViaBuckets,
-	})
+	start := time.Now()
+	s, err := NewSampler(g, opt.samplerOptions()...)
 	if err != nil {
 		return Stats{}, err
 	}
-	st := Stats{
-		Algorithm:  rs.Algorithm.String(),
-		Supersteps: rs.Supersteps,
-		Attempted:  rs.Attempted,
-		Accepted:   rs.Legal,
-		AvgRounds:  rs.AvgRounds(),
-		MaxRounds:  rs.MaxRounds,
-		Duration:   rs.Duration,
-	}
-	if total := rs.FirstRoundTime + rs.LaterRoundsTime; total > 0 {
-		st.LateRoundsFraction = float64(rs.LaterRoundsTime) / float64(total)
-	}
-	return st, nil
+	st, err := s.Step(opt.supersteps())
+	// One-shot semantics: the reported duration includes the engine
+	// construction the caller paid for, as it always did.
+	st.Duration = time.Since(start)
+	return st, err
 }
 
 // SampleFromDegrees materializes the degree sequence with Havel-Hakimi
 // and randomizes it: the one-call path to an approximately uniform
-// sample of a simple graph with the prescribed degrees.
+// sample of a simple graph with the prescribed degrees. For many
+// samples of one sequence, build the graph once with FromDegrees and
+// draw through a Sampler instead.
 func SampleFromDegrees(degrees []int, opt Options) (*Graph, Stats, error) {
 	g, err := FromDegrees(degrees)
 	if err != nil {
@@ -192,7 +249,9 @@ type MixingResult struct {
 }
 
 // FirstThinningBelow returns the smallest thinning whose fraction of
-// non-independent edges is below tau, or 0 if none.
+// non-independent edges is below tau, or 0 if none. The returned value
+// is the natural input to WithThinning when drawing ensembles from
+// graphs of the same scale.
 func (m MixingResult) FirstThinningBelow(tau float64) int {
 	for i, k := range m.Thinnings {
 		if m.NonIndependent[i] < tau {

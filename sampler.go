@@ -1,0 +1,464 @@
+package gesmc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gesmc/internal/core"
+	"gesmc/internal/curveball"
+	"gesmc/internal/digraph"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+// Target is a graph class the Sampler can randomize: *Graph (simple
+// undirected graphs), and *DiGraph (simple directed graphs, which also
+// covers bipartite graphs via FromBipartiteDegrees). The interface is
+// sealed; the two implementations in this package are the supported
+// target classes.
+type Target interface {
+	newSamplerEngine(cfg *samplerConfig) (samplerEngine, error)
+}
+
+// samplerEngine is the compiled, resumable chain state behind a Sampler.
+type samplerEngine interface {
+	// steps advances k supersteps, honoring ctx at superstep boundaries.
+	steps(ctx context.Context, k int) (engineStats, error)
+	// snapshot clones the target's current state.
+	snapshot() (*Graph, *DiGraph)
+}
+
+// engineStats carries raw counters between the internal engines and the
+// public Stats, so increments merge exactly.
+type engineStats struct {
+	supersteps  int
+	attempted   int64
+	legal       int64
+	internal    int
+	totalRounds int64
+	maxRounds   int
+	firstRound  time.Duration
+	laterRounds time.Duration
+	duration    time.Duration
+}
+
+func (a *engineStats) add(b engineStats) {
+	a.supersteps += b.supersteps
+	a.attempted += b.attempted
+	a.legal += b.legal
+	a.internal += b.internal
+	a.totalRounds += b.totalRounds
+	if b.maxRounds > a.maxRounds {
+		a.maxRounds = b.maxRounds
+	}
+	a.firstRound += b.firstRound
+	a.laterRounds += b.laterRounds
+	a.duration += b.duration
+}
+
+func (a engineStats) toStats(algorithm string) Stats {
+	st := Stats{
+		Algorithm:  algorithm,
+		Supersteps: a.supersteps,
+		Attempted:  a.attempted,
+		Accepted:   a.legal,
+		MaxRounds:  a.maxRounds,
+		Duration:   a.duration,
+	}
+	if a.internal > 0 {
+		st.AvgRounds = float64(a.totalRounds) / float64(a.internal)
+	}
+	if total := a.firstRound + a.laterRounds; total > 0 {
+		st.LateRoundsFraction = float64(a.laterRounds) / float64(total)
+	}
+	return st
+}
+
+// Progress reports sampler advancement to a WithProgress callback.
+type Progress struct {
+	// Supersteps advanced over the sampler's lifetime.
+	Supersteps int
+	// Samples emitted so far (via Sample, Ensemble, or Collect).
+	Samples int
+}
+
+// Sample is one draw of an ensemble: a deep copy of the target after
+// burn-in/thinning, with the statistics of the supersteps that produced
+// it. Exactly one of Graph and DiGraph is non-nil, matching the
+// sampler's target class. A Sample with Err != nil reports early
+// termination (context cancellation) and carries no graph.
+type Sample struct {
+	// Index is the position of this draw in the ensemble, from 0.
+	Index int
+	// Graph is the drawn undirected graph (nil for directed targets).
+	Graph *Graph
+	// DiGraph is the drawn directed graph (nil for undirected targets).
+	DiGraph *DiGraph
+	// Stats covers the supersteps advanced for this draw.
+	Stats Stats
+	// Err is the terminal error, if the ensemble stopped early.
+	Err error
+}
+
+// Sampler is a reusable, stateful sampling engine: NewSampler compiles
+// the target graph once into the selected algorithm's working state
+// (hash-based edge set, dependency table, adjacency lists, RNG streams),
+// after which Step, Sample, and Ensemble advance the same Markov chain
+// without ever rebuilding that state. This amortizes the setup cost the
+// paper's data structures (§5) are designed around: drawing k samples
+// through one Sampler costs one compilation plus burn-in plus (k-1)
+// thinning intervals, against k full burn-ins for k one-shot Randomize
+// calls.
+//
+// The Sampler mutates the target in place; Ensemble and Collect hand
+// out deep copies. A Sampler is not safe for concurrent use.
+type Sampler struct {
+	target  Target
+	eng     samplerEngine
+	algName string
+	burnIn  int
+	thin    int
+
+	progress func(Progress)
+	steps    int
+	samples  int
+	burned   bool
+	total    engineStats
+}
+
+// NewSampler compiles the target into a reusable sampling engine.
+// Options validate eagerly; the first invalid option is returned as a
+// typed error (see errors.go).
+func NewSampler(t Target, opts ...Option) (*Sampler, error) {
+	if t == nil {
+		return nil, ErrNilTarget
+	}
+	cfg := defaultSamplerConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := t.newSamplerEngine(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		target:   t,
+		eng:      eng,
+		algName:  cfg.algorithm.String(),
+		burnIn:   cfg.burnInSteps(),
+		thin:     cfg.thinningSteps(),
+		progress: cfg.progress,
+	}, nil
+}
+
+// Algorithm returns the name of the chain the sampler runs.
+func (s *Sampler) Algorithm() string { return s.algName }
+
+// BurnIn returns the supersteps the first Sample call advances.
+func (s *Sampler) BurnIn() int { return s.burnIn }
+
+// Thinning returns the supersteps between consecutive samples.
+func (s *Sampler) Thinning() int { return s.thin }
+
+// Supersteps returns the total supersteps advanced over the sampler's
+// lifetime.
+func (s *Sampler) Supersteps() int { return s.steps }
+
+// Samples returns the number of samples drawn so far.
+func (s *Sampler) Samples() int { return s.samples }
+
+// Stats returns the statistics accumulated over the sampler's lifetime.
+func (s *Sampler) Stats() Stats { return s.total.toStats(s.algName) }
+
+// advance moves the chain k supersteps, merging counters exactly and
+// firing the progress callback per superstep when registered.
+func (s *Sampler) advance(ctx context.Context, k int) (Stats, error) {
+	if k < 0 {
+		return Stats{}, fmt.Errorf("%w: got %d", ErrInvalidSupersteps, k)
+	}
+	var agg engineStats
+	if s.progress == nil {
+		es, err := s.eng.steps(ctx, k)
+		s.steps += es.supersteps
+		s.total.add(es)
+		return es.toStats(s.algName), err
+	}
+	for i := 0; i < k; i++ {
+		es, err := s.eng.steps(ctx, 1)
+		s.steps += es.supersteps
+		s.total.add(es)
+		agg.add(es)
+		if err != nil {
+			return agg.toStats(s.algName), err
+		}
+		s.progress(Progress{Supersteps: s.steps, Samples: s.samples})
+	}
+	return agg.toStats(s.algName), nil
+}
+
+// Step advances the chain by k supersteps (one superstep = ⌊m/2⌋ switch
+// attempts for ES-MC chains, one global switch/trade for the global
+// chains) and returns the statistics of exactly this increment. The
+// target reflects the new state in place.
+func (s *Sampler) Step(k int) (Stats, error) {
+	return s.StepContext(context.Background(), k)
+}
+
+// StepContext is Step with cancellation, honored at superstep
+// boundaries: on ctx expiry the target is left in the valid state after
+// the last completed superstep and ctx.Err() is returned alongside
+// partial statistics.
+func (s *Sampler) StepContext(ctx context.Context, k int) (Stats, error) {
+	return s.advance(ctx, k)
+}
+
+// Sample advances the chain to the next independent sample: the burn-in
+// interval on the first call, the thinning interval afterwards. The
+// target then holds the sample; read it in place, or Clone it to keep
+// it past the next advance.
+func (s *Sampler) Sample() (Stats, error) {
+	return s.SampleContext(context.Background())
+}
+
+// SampleContext is Sample with cancellation.
+func (s *Sampler) SampleContext(ctx context.Context) (Stats, error) {
+	k := s.thin
+	if !s.burned {
+		k = s.burnIn
+	}
+	st, err := s.advance(ctx, k)
+	if err != nil {
+		return st, err
+	}
+	s.burned = true
+	s.samples++
+	return st, nil
+}
+
+// Ensemble streams count thinned samples as deep copies over a channel,
+// the null-model workload: one engine compilation, one burn-in, then a
+// sample every thinning interval. The channel closes after the last
+// sample; on cancellation it closes early, delivering a final Sample
+// carrying the context error when the consumer is keeping pace (best
+// effort — use Collect when the terminal error must be observed
+// synchronously). Callers must either drain the channel or cancel ctx;
+// abandoning it without cancelling leaks the producing goroutine.
+func (s *Sampler) Ensemble(ctx context.Context, count int) <-chan Sample {
+	ch := make(chan Sample, 1)
+	go func() {
+		defer close(ch)
+		if count < 0 {
+			ch <- Sample{Err: fmt.Errorf("%w: got %d", ErrInvalidCount, count)}
+			return
+		}
+		for i := 0; i < count; i++ {
+			st, err := s.SampleContext(ctx)
+			if err != nil {
+				// Deliver the termination marker if anyone still listens.
+				select {
+				case ch <- Sample{Index: i, Stats: st, Err: err}:
+				default:
+				}
+				return
+			}
+			g, dg := s.eng.snapshot()
+			smp := Sample{Index: i, Graph: g, DiGraph: dg, Stats: st}
+			select {
+			case ch <- smp:
+			case <-ctx.Done():
+				select {
+				case ch <- Sample{Index: i, Err: ctx.Err()}:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Collect draws count thinned samples synchronously. On cancellation it
+// returns the samples drawn so far alongside the context error.
+func (s *Sampler) Collect(ctx context.Context, count int) ([]Sample, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidCount, count)
+	}
+	out := make([]Sample, 0, count)
+	for i := 0; i < count; i++ {
+		st, err := s.SampleContext(ctx)
+		if err != nil {
+			return out, err
+		}
+		g, dg := s.eng.snapshot()
+		out = append(out, Sample{Index: i, Graph: g, DiGraph: dg, Stats: st})
+	}
+	return out, nil
+}
+
+// ---- engine adapters ----
+
+// graphEngine adapts core.Engine (the seven switching implementations)
+// to the sampler.
+type graphEngine struct {
+	g   *Graph
+	eng *core.Engine
+}
+
+func (e *graphEngine) steps(ctx context.Context, k int) (engineStats, error) {
+	rs, err := e.eng.Steps(ctx, k)
+	e.g.invalidate()
+	return engineStats{
+		supersteps:  rs.Supersteps,
+		attempted:   rs.Attempted,
+		legal:       rs.Legal,
+		internal:    rs.InternalSupersteps,
+		totalRounds: rs.TotalRounds,
+		maxRounds:   rs.MaxRounds,
+		firstRound:  rs.FirstRoundTime,
+		laterRounds: rs.LaterRoundsTime,
+		duration:    rs.Duration,
+	}, err
+}
+
+func (e *graphEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
+
+// curveballEngine adapts the Curveball trade state to the sampler. One
+// superstep is one global trade (GlobalCurveball) or ⌊n/2⌋ uniformly
+// random trades (Curveball), mirroring the switch-chains' superstep
+// normalization. Trades have no rejection, so Accepted == Attempted ==
+// the number of trades performed.
+type curveballEngine struct {
+	g      *Graph
+	st     *curveball.State
+	src    rng.Source
+	global bool
+}
+
+func (e *curveballEngine) steps(ctx context.Context, k int) (engineStats, error) {
+	start := time.Now()
+	var es engineStats
+	var err error
+	n := e.g.N()
+	for i := 0; i < k; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		if e.global {
+			e.st.GlobalTrade(e.src)
+		} else {
+			for j := 0; j < n/2; j++ {
+				u, v := rng.TwoDistinct(e.src, n)
+				e.st.Trade(graph.Node(u), graph.Node(v), e.src)
+			}
+		}
+		es.supersteps++
+		es.attempted += int64(n / 2)
+		es.legal += int64(n / 2)
+	}
+	e.st.WriteEdges(e.g.raw().Edges())
+	e.g.invalidate()
+	es.duration = time.Since(start)
+	return es, err
+}
+
+func (e *curveballEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
+
+// digraphEngine adapts digraph.Engine (directed and bipartite targets)
+// to the sampler.
+type digraphEngine struct {
+	g   *DiGraph
+	eng *digraph.Engine
+}
+
+func (e *digraphEngine) steps(ctx context.Context, k int) (engineStats, error) {
+	rs, err := e.eng.Steps(ctx, k)
+	return engineStats{
+		supersteps:  rs.Supersteps,
+		attempted:   rs.Attempted,
+		legal:       rs.Legal,
+		internal:    rs.InternalSupersteps,
+		totalRounds: rs.TotalRounds,
+		maxRounds:   rs.MaxRounds,
+		duration:    rs.Duration,
+	}, err
+}
+
+func (e *digraphEngine) snapshot() (*Graph, *DiGraph) { return nil, e.g.Clone() }
+
+// newSamplerEngine compiles an undirected target: the seven switching
+// implementations plus the two Curveball chains.
+func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
+	if g == nil || g.g == nil {
+		return nil, ErrNilTarget
+	}
+	if cfg.algorithm == Curveball || cfg.algorithm == GlobalCurveball {
+		if g.g.M() < 2 {
+			return nil, fmt.Errorf("%w: m=%d", ErrGraphTooSmall, g.g.M())
+		}
+		return &curveballEngine{
+			g:      g,
+			st:     curveball.NewState(g.g),
+			src:    rng.NewMT19937(cfg.seed),
+			global: cfg.algorithm == GlobalCurveball,
+		}, nil
+	}
+	ca, ok := algNames[cfg.algorithm]
+	if !ok {
+		return nil, fmt.Errorf("%w: Algorithm(%d)", ErrUnknownAlgorithm, int(cfg.algorithm))
+	}
+	eng, err := core.NewEngine(g.g, ca, core.Config{
+		Workers:          cfg.workers,
+		Seed:             cfg.seed,
+		LoopProb:         cfg.loopProb,
+		Prefetch:         cfg.prefetch,
+		SampleViaBuckets: cfg.sampleViaBuckets,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrTooSmall) {
+			return nil, fmt.Errorf("%w: m=%d", ErrGraphTooSmall, g.g.M())
+		}
+		return nil, err
+	}
+	return &graphEngine{g: g, eng: eng}, nil
+}
+
+// dirAlgs maps the public enum to the directed implementations.
+// Directed switches need no direction bit, so ES-MC's data-structure
+// ablations add nothing in the directed setting.
+var dirAlgs = map[Algorithm]digraph.Algorithm{
+	SeqES:       digraph.AlgSeqES,
+	SeqGlobalES: digraph.AlgSeqGlobalES,
+	ParGlobalES: digraph.AlgParGlobalES,
+}
+
+// newSamplerEngine compiles a directed (or bipartite) target.
+func (g *DiGraph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
+	if g == nil || g.g == nil {
+		return nil, ErrNilTarget
+	}
+	da, ok := dirAlgs[cfg.algorithm]
+	if !ok {
+		return nil, fmt.Errorf("%w: directed randomization supports SeqES, SeqGlobalES, ParGlobalES; got %s",
+			ErrUnsupportedAlgorithm, cfg.algorithm)
+	}
+	eng, err := digraph.NewEngine(g.g, da, digraph.Config{
+		Workers:  cfg.workers,
+		Seed:     cfg.seed,
+		LoopProb: cfg.loopProb,
+	})
+	if err != nil {
+		if errors.Is(err, digraph.ErrTooSmall) {
+			return nil, fmt.Errorf("%w: m=%d", ErrGraphTooSmall, g.g.M())
+		}
+		return nil, err
+	}
+	return &digraphEngine{g: g, eng: eng}, nil
+}
