@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gesmc"
+	"gesmc/internal/rng"
+)
+
+// bench is the reproducible performance-trajectory harness: it times the
+// four parallel chains that now share the unified superstep kernel —
+// ParES, ParGlobalES, directed ParGlobalES, and parallel Global
+// Curveball — at P=1 and P=workers on a fixed synthetic workload, and
+// writes the ns/switch numbers to BENCH_<date>.json so successive PRs
+// can be compared. All runs go through the public Sampler API (the code
+// path production callers use).
+type benchResult struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Supersteps  int     `json:"supersteps"`
+	Attempted   int64   `json:"attempted"`
+	NsPerSwitch float64 `json:"ns_per_switch"`
+	SpeedupVsW1 float64 `json:"speedup_vs_w1,omitempty"`
+}
+
+type benchReport struct {
+	Date       string        `json:"date"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Nodes      int           `json:"nodes"`
+	EdgesUndir int           `json:"edges_undirected"`
+	ArcsDir    int           `json:"arcs_directed"`
+	Quick      bool          `json:"quick"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchOut is overridable for tests.
+var benchOut = ""
+
+func bench(opt options) error {
+	n := 1 << 15
+	supersteps := 10
+	if opt.quick {
+		n = 1 << 11
+		supersteps = 3
+	}
+	ug, err := gesmc.GeneratePowerLaw(n, 2.2, opt.seed)
+	if err != nil {
+		return err
+	}
+	dg, err := benchDigraph(n, ug.M(), opt.seed)
+	if err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Nodes:      n,
+		EdgesUndir: ug.M(),
+		ArcsDir:    dg.M(),
+		Quick:      opt.quick,
+	}
+
+	type chain struct {
+		name   string
+		alg    gesmc.Algorithm
+		target func() gesmc.Target
+	}
+	chains := []chain{
+		{"ParES", gesmc.ParES, func() gesmc.Target { return ug.Clone() }},
+		{"ParGlobalES", gesmc.ParGlobalES, func() gesmc.Target { return ug.Clone() }},
+		{"ParGlobalES/directed", gesmc.ParGlobalES, func() gesmc.Target { return dg.Clone() }},
+		{"GlobalCurveball", gesmc.GlobalCurveball, func() gesmc.Target { return ug.Clone() }},
+	}
+
+	workerCounts := []int{1, opt.workers}
+	if opt.workers <= 1 {
+		workerCounts = []int{1}
+	}
+	fmt.Printf("%-22s %-8s %12s %14s %10s\n", "chain", "workers", "attempted", "ns/switch", "speedup")
+	for _, c := range chains {
+		var base float64
+		for _, w := range workerCounts {
+			r, err := benchOne(c.name, c.alg, c.target(), w, supersteps, opt.seed)
+			if err != nil {
+				return err
+			}
+			if w == 1 {
+				base = r.NsPerSwitch
+			} else if base > 0 {
+				r.SpeedupVsW1 = base / r.NsPerSwitch
+			}
+			report.Results = append(report.Results, r)
+			fmt.Printf("%-22s %-8d %12d %14.1f %10.2f\n",
+				r.Name, r.Workers, r.Attempted, r.NsPerSwitch, r.SpeedupVsW1)
+		}
+	}
+
+	out := benchOut
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", report.Date)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", out)
+	return nil
+}
+
+// benchOne compiles the sampler once (setup excluded, as in §6's
+// methodology), runs one warm-up superstep, then times the measured
+// supersteps.
+func benchOne(name string, alg gesmc.Algorithm, target gesmc.Target, workers, supersteps int, seed uint64) (benchResult, error) {
+	s, err := gesmc.NewSampler(target,
+		gesmc.WithAlgorithm(alg),
+		gesmc.WithWorkers(workers),
+		gesmc.WithSeed(seed))
+	if err != nil {
+		return benchResult{}, err
+	}
+	if _, err := s.Step(1); err != nil {
+		return benchResult{}, err
+	}
+	stats, err := s.Step(supersteps)
+	if err != nil {
+		return benchResult{}, err
+	}
+	r := benchResult{
+		Name:       name,
+		Workers:    workers,
+		Supersteps: stats.Supersteps,
+		Attempted:  stats.Attempted,
+	}
+	if stats.Attempted > 0 {
+		r.NsPerSwitch = float64(stats.Duration.Nanoseconds()) / float64(stats.Attempted)
+	}
+	return r, nil
+}
+
+// benchDigraph samples a simple digraph with exactly m arcs by
+// rejection (duplicate and loop arcs are redrawn; m ≪ n² here, so
+// collisions are rare).
+func benchDigraph(n, m int, seed uint64) (*gesmc.DiGraph, error) {
+	src := rng.NewMT19937(seed ^ 0xD16A)
+	seen := make(map[[2]uint32]struct{}, m)
+	arcs := make([][2]uint32, 0, m)
+	for len(arcs) < m {
+		u := uint32(rng.IntN(src, n))
+		v := uint32(rng.IntN(src, n))
+		if u == v {
+			continue
+		}
+		a := [2]uint32{u, v}
+		if _, dup := seen[a]; dup {
+			continue
+		}
+		seen[a] = struct{}{}
+		arcs = append(arcs, a)
+	}
+	return gesmc.NewDiGraph(n, arcs)
+}

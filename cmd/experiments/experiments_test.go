@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // Smoke tests: every experiment driver must run to completion on tiny
 // parameters. The figures' numeric content is validated by the package
@@ -72,6 +75,17 @@ func TestFig9Driver(t *testing.T) {
 func TestEnsembleDriver(t *testing.T) {
 	if err := ensembleCmp(quickOptions()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBenchDriver(t *testing.T) {
+	benchOut = t.TempDir() + "/bench.json"
+	defer func() { benchOut = "" }()
+	if err := bench(quickOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(benchOut); err != nil {
+		t.Fatalf("bench JSON not written: %v", err)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|all> [flags]
+//	experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|all> [flags]
 //
 // Common flags:
 //
@@ -40,9 +40,11 @@ func main() {
 	seed := fs.Uint64("seed", 42, "master seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "maximum parallelism P")
 	quick := fs.Bool("quick", false, "tiny parameters for smoke tests")
+	out := fs.String("out", "", "output path for bench JSON (default BENCH_<date>.json)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	benchOut = *out
 	opt := options{scale: *scale, seed: *seed, workers: *workers, quick: *quick}
 
 	runOne := func(name string, fn func(options) error) {
@@ -76,6 +78,8 @@ func main() {
 		runOne("Extension: Curveball vs edge-switching mixing", curveballCmp)
 	case "ensemble":
 		runOne("Extension: one-shot vs reused-sampler ensemble throughput", ensembleCmp)
+	case "bench":
+		runOne("Benchmark: ns/switch of the unified-kernel chains", bench)
 	case "all":
 		runOne("Figure 2", fig2)
 		runOne("Figure 3", fig3)
@@ -94,5 +98,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|all> [-scale f] [-seed n] [-workers n] [-quick]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|all> [-scale f] [-seed n] [-workers n] [-quick]`)
 }

@@ -11,10 +11,30 @@
 // without rebuilding anything. One Sampler drives all three supported
 // target classes — undirected graphs (*Graph), directed graphs
 // (*DiGraph), and bipartite graphs (FromBipartiteDegrees, represented
-// as digraphs) — and nine algorithms: the seven switching
-// implementations of the paper (sequential baselines through the exact
-// parallel ParGlobalES, the headline algorithm and default) plus the
-// Curveball and GlobalCurveball trade chains.
+// as digraphs).
+//
+// Every parallel chain executes through one generic superstep kernel
+// (dependency tuples, round-based decisions, pessimistic worst-case
+// scheduling, identical rounds instrumentation — see DESIGN.md), so
+// WithWorkers applies uniformly. The algorithms:
+//
+//	Algorithm        chain     targets              parallel  notes
+//	SeqES            ES-MC     undirected+directed  no        §5 hash set + edge array
+//	SeqGlobalES      G-ES-MC   undirected+directed  no        Definition 3
+//	NaiveParES       ES-MC     undirected           inexact   §5.1 baseline, perf studies only
+//	ParES            ES-MC     undirected           exact     Algorithm 2
+//	ParGlobalES      G-ES-MC   all                  exact     Algorithm 3 — headline, default
+//	AdjListES        ES-MC     undirected           no        NetworKit-style ablation
+//	AdjSortES        ES-MC     undirected           no        Gengraph-style ablation
+//	Curveball        trades    undirected           exact     batched disjoint trades
+//	GlobalCurveball  trades    undirected           exact     superstep global trades
+//
+// "Exact" parallel chains are bit-identical to their sequential
+// references: given the same switch (or trade) sequence they produce
+// the same edge list at every worker count, which the differential test
+// suites verify for workers 1, 2, 4 and 8. The trade chains use the
+// superstep formulation of DESIGN.md §4 (per-batch edge ownership), so
+// their results are additionally invariant under the worker count.
 //
 // Quick start — one approximately uniform sample:
 //
@@ -60,6 +80,6 @@
 // single draw, wasteful for ensembles.
 //
 // All operations are deterministic for a fixed seed, algorithm, and
-// worker count (the sequential chains are additionally independent of
-// the worker count).
+// worker count; the sequential chains and both Curveball chains are
+// additionally independent of the worker count.
 package gesmc

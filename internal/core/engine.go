@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gesmc/internal/graph"
+	"gesmc/internal/switching"
 )
 
 // ErrUnknownAlgorithm is returned by NewEngine for an Algorithm value
@@ -108,29 +109,23 @@ func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
 	return delta, err
 }
 
-// runnerSnap tracks the last-seen counters of a SuperstepRunner so that
-// per-increment deltas can be carved out of its cumulative totals.
-// MaxRounds stays cumulative (a maximum does not decompose into deltas).
+// runnerSnap tracks the last-seen kernel counters of a SuperstepRunner
+// so that per-increment deltas can be carved out of its cumulative
+// totals. MaxRounds stays cumulative (a maximum does not decompose into
+// deltas).
 type runnerSnap struct {
-	legal  int64
-	steps  int
-	rounds int64
-	first  time.Duration
-	later  time.Duration
+	prev switching.Stats
 }
 
 func (s *runnerSnap) flushDelta(r *SuperstepRunner, stats *RunStats) {
-	stats.Legal += r.Legal - s.legal
-	stats.InternalSupersteps += r.InternalSupersteps - s.steps
-	stats.TotalRounds += r.TotalRounds - s.rounds
-	if r.MaxRounds > stats.MaxRounds {
-		stats.MaxRounds = r.MaxRounds
+	d := r.Stats.Sub(s.prev)
+	s.prev = r.Stats
+	stats.Legal += d.Legal
+	stats.InternalSupersteps += d.InternalSupersteps
+	stats.TotalRounds += d.TotalRounds
+	if d.MaxRounds > stats.MaxRounds {
+		stats.MaxRounds = d.MaxRounds
 	}
-	stats.FirstRoundTime += r.FirstRoundTime - s.first
-	stats.LaterRoundsTime += r.LaterRoundsTime - s.later
-	s.legal = r.Legal
-	s.steps = r.InternalSupersteps
-	s.rounds = r.TotalRounds
-	s.first = r.FirstRoundTime
-	s.later = r.LaterRoundsTime
+	stats.FirstRoundTime += d.FirstRoundTime
+	stats.LaterRoundsTime += d.LaterRoundsTime
 }

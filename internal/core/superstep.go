@@ -1,272 +1,20 @@
 package core
 
 import (
-	"time"
-
-	"gesmc/internal/conc"
 	"gesmc/internal/graph"
+	"gesmc/internal/switching"
 )
 
 // SuperstepRunner executes supersteps of source-independent switches in
-// parallel (Algorithm 1, ParallelSuperstep). It owns the concurrent edge
-// set and the dependency table, both reused across supersteps.
-//
-// Semantics refinement over the printed pseudocode (see DESIGN.md §2):
-// a switch whose target coincides with one of its own source edges is
-// decided illegal, matching Definition 1 exactly ("already exists in E").
-// The printed Algorithm 1 would accept such switches as no-ops; both
-// choices yield the same graphs, but ours additionally makes the edge
-// list bit-identical to sequential execution, which the differential
-// tests exploit.
-type SuperstepRunner struct {
-	E       []graph.Edge
-	Set     *conc.EdgeSet
-	table   *conc.DepTable
-	workers int
-
-	// Pessimistic simulates the worst-case scheduler of Theorems 2-3:
-	// status writes become visible only at round barriers, so every
-	// dependency on a same-round switch forces a delay. Rounds counted
-	// in this mode are the quantity the paper's theory bounds
-	// (expected <= 4*Delta^2/m, O(1) for regular graphs). The decided
-	// graph is identical either way; only the round structure differs.
-	Pessimistic bool
-
-	undecided []int32
-	delayed   [][]int32
-	decisions [][]decision
-	legalTot  []paddedCounter
-
-	// Stats accumulated across supersteps.
-	InternalSupersteps int
-	TotalRounds        int64
-	MaxRounds          int
-	Legal              int64
-	FirstRoundTime     time.Duration
-	LaterRoundsTime    time.Duration
-}
-
-// paddedCounter is a per-worker counter padded to its own cache line.
-type paddedCounter struct {
-	v int64
-	_ [7]int64
-}
-
-// decision is a deferred status store used by the pessimistic scheduler.
-type decision struct {
-	k  int32
-	st uint32
-}
+// parallel (Algorithm 1, ParallelSuperstep). It is the undirected
+// instantiation of the generic kernel in internal/switching, which owns
+// the dependency-table phases, the round loop, the pessimistic
+// worst-case scheduler (Theorems 2-3), and the per-worker padded
+// counters; see that package and DESIGN.md for the shared machinery.
+type SuperstepRunner = switching.Runner[graph.Edge]
 
 // NewSuperstepRunner prepares a runner for graph edge list E, supporting
 // supersteps of up to maxSwitches switches.
 func NewSuperstepRunner(E []graph.Edge, maxSwitches, workers int) *SuperstepRunner {
-	if workers < 1 {
-		workers = 1
-	}
-	set := conc.NewEdgeSet(len(E) * 2)
-	set.BuildFrom(E, workers)
-	r := &SuperstepRunner{
-		E:         E,
-		Set:       set,
-		table:     conc.NewDepTable(maxSwitches),
-		workers:   workers,
-		delayed:   make([][]int32, workers),
-		decisions: make([][]decision, workers),
-		legalTot:  make([]paddedCounter, workers),
-	}
-	return r
-}
-
-// Run performs one superstep: the switches must be free of source
-// dependencies (each edge index appears at most once). The edge list and
-// edge set are updated to the post-superstep state.
-func (r *SuperstepRunner) Run(switches []Switch) {
-	n := len(switches)
-	if n == 0 {
-		return
-	}
-	w := r.workers
-	t := r.table
-	t.Reset(n, w)
-
-	// Phase 1 (Algorithm 1, lines 1-6): store the four dependency
-	// tuples of every switch. Tuple slots are deterministic (4k..4k+3):
-	// keys[4k]=e1, +1=e2, +2=e3, +3=e4, which decide() reads back.
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			sw := switches[k]
-			e1 := r.E[sw.I]
-			e2 := r.E[sw.J]
-			t3, t4 := graph.SwitchTargets(e1, e2, sw.G)
-			t.Store(k, 0, e1, conc.KindErase)
-			t.Store(k, 1, e2, conc.KindErase)
-			t.Store(k, 2, t3, conc.KindInsert)
-			t.Store(k, 3, t4, conc.KindInsert)
-		}
-	})
-
-	// Phase 2 (lines 7-35): decide switches in rounds.
-	undecided := r.undecided[:0]
-	for k := 0; k < n; k++ {
-		undecided = append(undecided, int32(k))
-	}
-	rounds := 0
-	for len(undecided) > 0 {
-		roundStart := time.Now()
-		rounds++
-		for i := range r.delayed {
-			r.delayed[i] = r.delayed[i][:0]
-			r.decisions[i] = r.decisions[i][:0]
-		}
-		conc.Blocks(len(undecided), w, func(worker, lo, hi int) {
-			var legal int64
-			for _, k := range undecided[lo:hi] {
-				st := r.decide(switches[k], int(k))
-				switch st {
-				case conc.StatusLegal:
-					legal++
-				case conc.StatusUndecided:
-					r.delayed[worker] = append(r.delayed[worker], k)
-				}
-				if st != conc.StatusUndecided {
-					if r.Pessimistic {
-						// Defer visibility to the round barrier: the
-						// worst-case scheduler of the analysis.
-						r.decisions[worker] = append(r.decisions[worker], decision{k: k, st: st})
-					} else {
-						t.Status[int(k)].Store(st)
-					}
-				}
-			}
-			r.legalTot[worker].v += legal
-		})
-		if r.Pessimistic {
-			for _, ds := range r.decisions {
-				for _, d := range ds {
-					t.Status[int(d.k)].Store(d.st)
-				}
-			}
-		}
-		undecided = undecided[:0]
-		for _, d := range r.delayed {
-			undecided = append(undecided, d...)
-		}
-		if rounds == 1 {
-			r.FirstRoundTime += time.Since(roundStart)
-		} else {
-			r.LaterRoundsTime += time.Since(roundStart)
-		}
-	}
-	r.undecided = undecided
-
-	// Phase 3: apply the accepted switches to the edge set. Erasures
-	// first, then insertions, so an edge that is erased by one switch
-	// and re-inserted by another nets out present.
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.EraseUnique(graph.Edge(t.Key(base)))
-			r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
-		}
-	})
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
-		}
-	})
-	if r.Set.NeedsCompact() {
-		r.Set.Compact(r.E, w)
-	}
-
-	for i := range r.legalTot {
-		r.Legal += r.legalTot[i].v
-		r.legalTot[i].v = 0
-	}
-	r.InternalSupersteps++
-	r.TotalRounds += int64(rounds)
-	if rounds > r.MaxRounds {
-		r.MaxRounds = rounds
-	}
-}
-
-// decide attempts to decide switch k (Algorithm 1, lines 10-33) and
-// returns its resulting status. Legal switches rewire the edge list
-// immediately; the caller publishes the status (immediately, or at the
-// round barrier under the pessimistic scheduler), which is the
-// linearization point observed by dependent switches.
-func (r *SuperstepRunner) decide(sw Switch, k int) uint32 {
-	t := r.table
-	base := 4 * k
-	e1 := graph.Edge(t.Key(base))
-	e2 := graph.Edge(t.Key(base + 1))
-	t3 := graph.Edge(t.Key(base + 2))
-	t4 := graph.Edge(t.Key(base + 3))
-
-	st := conc.StatusLegal
-	if t3.IsLoop() || t4.IsLoop() || e1 == e2 ||
-		t3 == e1 || t3 == e2 || t4 == e1 || t4 == e2 {
-		// Loops, or targets equal to own sources ("already exists in
-		// E" per Definition 1); e1 == e2 can only arise from a caller
-		// bug but is rejected defensively.
-		st = conc.StatusIllegal
-	} else {
-		delay := false
-		for _, target := range [2]graph.Edge{t3, t4} {
-			if p, ok := t.EraseTuple(target); ok {
-				if p == k {
-					// Own source: already handled above; unreachable.
-					st = conc.StatusIllegal
-					break
-				}
-				if k < p {
-					// Erased only by a later switch: the target
-					// exists at σ_k's turn (line 19, k < p).
-					st = conc.StatusIllegal
-					break
-				}
-				switch t.Status[p].Load() {
-				case conc.StatusIllegal:
-					// σ_p did not erase the target after all.
-					st = conc.StatusIllegal
-				case conc.StatusUndecided:
-					delay = true // line 24
-				}
-				if st == conc.StatusIllegal {
-					break
-				}
-			} else if r.Set.Contains(target) {
-				// In the graph and not sourced by this superstep:
-				// the implicit (e, ∞, erase, illegal) tuple.
-				st = conc.StatusIllegal
-				break
-			}
-			if q, sq, ok := t.MinInsert(target); ok && q < k {
-				if sq == conc.StatusLegal {
-					st = conc.StatusIllegal // line 21
-					break
-				}
-				if sq == conc.StatusUndecided {
-					delay = true // line 26
-				}
-			}
-		}
-		if st != conc.StatusIllegal && delay {
-			return conc.StatusUndecided // re-examined next round
-		}
-	}
-
-	if st == conc.StatusLegal {
-		r.E[sw.I] = t3
-		r.E[sw.J] = t4
-	}
-	return st
+	return switching.NewRunner(E, maxSwitches, workers)
 }

@@ -24,14 +24,14 @@ import (
 
 	"gesmc/internal/graph"
 	"gesmc/internal/rng"
+	"gesmc/internal/switching"
 )
 
 // Switch is one edge switch σ = (i, j, g): two edge-list indices and a
-// direction bit (Definition 1).
-type Switch struct {
-	I, J uint32
-	G    bool
-}
+// direction bit (Definition 1). It is the kernel's switch type; core
+// re-exports it so chain implementations and tests need not import the
+// kernel package.
+type Switch = switching.Switch
 
 // Algorithm selects a Markov chain implementation.
 type Algorithm int

@@ -5,8 +5,15 @@
 // A trade between two nodes shuffles their disjoint neighborhoods; a
 // global trade pairs every node exactly once via a random permutation.
 //
-// It is provided as an extension comparator for mixing experiments: like
-// G-ES-MC, a global trade touches the whole graph in one superstep.
+// Two implementations coexist. State (this file) is the classic
+// sequential formulation — trades in strict order, each observing all
+// previous trades — kept as the mixing comparator used by
+// internal/autocorr. Engine (parallel.go) is the superstep formulation
+// built on the unified switching kernel: global trades (and batched
+// local trades) execute as conflict-free parallel supersteps under a
+// per-batch edge ownership discipline, bit-identical for every worker
+// count (DESIGN.md §4). The public Sampler's Curveball chains run on
+// Engine.
 package curveball
 
 import (

@@ -1,0 +1,196 @@
+package curveball
+
+import (
+	"sort"
+	"testing"
+
+	"gesmc/internal/gen"
+	"gesmc/internal/graph"
+	"gesmc/internal/rng"
+)
+
+func sortedEdges(es []graph.Edge) []graph.Edge {
+	out := append([]graph.Edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func engineEdges(e *Engine, m int) []graph.Edge {
+	dst := make([]graph.Edge, m)
+	e.WriteEdges(dst)
+	return dst
+}
+
+// drawBatches replays the exact pairing and seed streams an engine with
+// the given seed draws for `steps` global trades, so the sequential
+// Reference can be driven with identical inputs.
+func drawGlobalBatches(n int, steps int, seed uint64) ([][][2]uint32, []uint64) {
+	src := rng.NewMT19937(seed)
+	seedSrc := rng.NewSplitMix64(seed ^ 0xC3B5507A6F7C8E21)
+	batches := make([][][2]uint32, steps)
+	seeds := make([]uint64, steps)
+	for s := 0; s < steps; s++ {
+		perm := rng.Perm(src, n)
+		var pairs [][2]uint32
+		for k := 0; k+1 < n; k += 2 {
+			pairs = append(pairs, [2]uint32{perm[k], perm[k+1]})
+		}
+		batches[s] = pairs
+		seeds[s] = seedSrc.Uint64()
+	}
+	return batches, seeds
+}
+
+func TestGlobalTradeBatchMatchesReferenceAcrossWorkers(t *testing.T) {
+	src := rng.NewMT19937(7101)
+	for trial := 0; trial < 8; trial++ {
+		g := gen.GNP(40+rng.IntN(src, 60), 0.15, src)
+		if g.M() < 4 {
+			continue
+		}
+		const steps = 5
+		seed := uint64(1000 + trial)
+		batches, seeds := drawGlobalBatches(g.N(), steps, seed)
+
+		ref := NewReference(g)
+		for s := range batches {
+			ref.TradeBatch(batches[s], seeds[s])
+		}
+		want := ref.Edges()
+
+		for _, w := range []int{1, 2, 4, 8} {
+			e := NewEngine(g, w, seed)
+			for s := 0; s < steps; s++ {
+				e.GlobalStep()
+			}
+			got := engineEdges(e, g.M())
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: edge %d diverges from sequential reference", w, i)
+				}
+			}
+			if err := e.Graph().CheckSimple(); err != nil {
+				t.Fatalf("workers=%d: %v", w, err)
+			}
+		}
+	}
+}
+
+func TestLocalTradesMatchAcrossWorkers(t *testing.T) {
+	src := rng.NewMT19937(7102)
+	g := gen.GNP(80, 0.12, src)
+	var want []graph.Edge
+	for _, w := range []int{1, 2, 4, 8} {
+		e := NewEngine(g, w, 77)
+		for s := 0; s < 6; s++ {
+			e.LocalStep()
+		}
+		got := engineEdges(e, g.M())
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: local trades diverge at edge %d", w, i)
+			}
+		}
+	}
+}
+
+func TestEngineResumedSplitsBitIdentical(t *testing.T) {
+	src := rng.NewMT19937(7103)
+	g := gen.GNP(64, 0.15, src)
+
+	one := NewEngine(g, 4, 5)
+	for s := 0; s < 8; s++ {
+		one.GlobalStep()
+	}
+	// "Resumed" engine: same construction, steps split across bursts —
+	// the stream state must carry over exactly.
+	split := NewEngine(g, 4, 5)
+	for _, k := range []int{3, 1, 4} {
+		for s := 0; s < k; s++ {
+			split.GlobalStep()
+		}
+	}
+	a, b := engineEdges(one, g.M()), engineEdges(split, g.M())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split runs diverge at edge %d", i)
+		}
+	}
+	if one.Attempted != split.Attempted || one.Stats().Legal != split.Stats().Legal {
+		t.Fatal("counters diverge between split runs")
+	}
+}
+
+func TestEnginePreservesInvariants(t *testing.T) {
+	src := rng.NewMT19937(7104)
+	g, err := gen.SynPldGraph(256, 2.2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg := g.Degrees()
+	e := NewEngine(g, 4, 11)
+	for s := 0; s < 12; s++ {
+		if s%2 == 0 {
+			e.GlobalStep()
+		} else {
+			e.LocalStep()
+		}
+	}
+	h := e.Graph()
+	if err := h.CheckSimple(); err != nil {
+		t.Fatal(err)
+	}
+	gotDeg := h.Degrees()
+	for v := range wantDeg {
+		if gotDeg[v] != wantDeg[v] {
+			t.Fatalf("degree of %d changed: %d -> %d", v, wantDeg[v], gotDeg[v])
+		}
+	}
+	if graph.SameEdgeSet(g, h) {
+		t.Fatal("trades did not randomize the graph")
+	}
+	st := e.Stats()
+	if st.InternalSupersteps == 0 || st.Legal == 0 || st.TotalRounds < int64(st.InternalSupersteps) {
+		t.Fatalf("kernel stats broken: %+v", st)
+	}
+}
+
+func TestParallelGlobalCurveballUniformOverMatchings(t *testing.T) {
+	// The 15-state enumeration used by the other chains: the superstep
+	// trade semantics must also converge to uniform over the perfect
+	// matchings of K6.
+	base, err := graph.FromPairs(6, [][2]graph.Node{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const runs = 3000
+	for r := 0; r < runs; r++ {
+		e := NewEngine(base, 2, uint64(r)*2654435761+13)
+		for s := 0; s < 20; s++ {
+			e.GlobalStep()
+		}
+		edges := sortedEdges(engineEdges(e, base.M()))
+		key := ""
+		for _, ed := range edges {
+			key += ed.String()
+		}
+		counts[key]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("reached %d of 15 states", len(counts))
+	}
+	expected := float64(runs) / 15
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		x2 += d * d / expected
+	}
+	if x2 > 60 { // df = 14
+		t.Fatalf("chi-square %.1f too large", x2)
+	}
+}

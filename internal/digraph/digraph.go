@@ -46,6 +46,13 @@ func SwitchTargets(a1, a2 Arc) (Arc, Arc) {
 	return MakeArc(a1.Tail(), a2.Head()), MakeArc(a2.Tail(), a1.Head())
 }
 
+// Targets is the method form of SwitchTargets satisfying the generic
+// kernel's edge constraint (switching.EdgeKind). The direction bit is
+// ignored: directed switches have none.
+func (a Arc) Targets(other Arc, _ bool) (Arc, Arc) {
+	return SwitchTargets(a, other)
+}
+
 // DiGraph is a simple directed graph (no loops, no parallel arcs) with
 // an indexed arc list.
 type DiGraph struct {

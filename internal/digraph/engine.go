@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gesmc/internal/rng"
+	"gesmc/internal/switching"
 )
 
 // Algorithm selects a directed switching implementation. Directed
@@ -34,6 +35,12 @@ type Config struct {
 	Seed uint64
 	// LoopProb is P_L of G-ES-MC; zero selects the default 1e-6.
 	LoopProb float64
+	// PessimisticRounds makes the parallel superstep publish decisions
+	// only at round barriers, simulating the worst-case scheduler
+	// analyzed in Theorems 2-3 (the directed mirror of core's flag,
+	// inherited from the unified kernel). Results are identical; only
+	// round counts change.
+	PessimisticRounds bool
 }
 
 func (c Config) loopProb() float64 {
@@ -85,11 +92,13 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 		if w < 1 {
 			w = 1
 		}
+		runner := NewSuperstepRunner(g.Arcs(), g.M()/2, w)
+		runner.Pessimistic = cfg.PessimisticRounds
 		st = &dirParGlobalStepper{
 			m: g.M(), w: w,
 			src:     rng.NewMT19937(cfg.Seed),
 			seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0x5DEECE66D),
-			runner:  NewSuperstepRunner(g.Arcs(), g.M()/2, w),
+			runner:  runner,
 			pl:      cfg.loopProb(),
 		}
 	default:
@@ -135,6 +144,8 @@ func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
 	if e.stats.InternalSupersteps > 0 {
 		e.stats.AvgRounds = float64(e.stats.TotalRounds) / float64(e.stats.InternalSupersteps)
 	}
+	e.stats.FirstRoundTime += delta.FirstRoundTime
+	e.stats.LaterRoundsTime += delta.LaterRoundsTime
 	e.stats.Duration += delta.Duration
 	return delta, err
 }
@@ -186,10 +197,7 @@ type dirParGlobalStepper struct {
 	runner  *SuperstepRunner
 	buf     []Switch
 	pl      float64
-
-	prevLegal  int64
-	prevSteps  int
-	prevRounds int64
+	prev    switching.Stats
 }
 
 func (s *dirParGlobalStepper) step(stats *RunStats) {
@@ -198,13 +206,14 @@ func (s *dirParGlobalStepper) step(stats *RunStats) {
 	s.buf = GlobalSwitches(perm, l, s.buf)
 	s.runner.Run(s.buf)
 	stats.Attempted += int64(l)
-	stats.Legal += s.runner.Legal - s.prevLegal
-	stats.InternalSupersteps += s.runner.InternalSupersteps - s.prevSteps
-	stats.TotalRounds += s.runner.TotalRounds - s.prevRounds
-	if s.runner.MaxRounds > stats.MaxRounds {
-		stats.MaxRounds = s.runner.MaxRounds
+	d := s.runner.Stats.Sub(s.prev)
+	s.prev = s.runner.Stats
+	stats.Legal += d.Legal
+	stats.InternalSupersteps += d.InternalSupersteps
+	stats.TotalRounds += d.TotalRounds
+	if d.MaxRounds > stats.MaxRounds {
+		stats.MaxRounds = d.MaxRounds
 	}
-	s.prevLegal = s.runner.Legal
-	s.prevSteps = s.runner.InternalSupersteps
-	s.prevRounds = s.runner.TotalRounds
+	stats.FirstRoundTime += d.FirstRoundTime
+	stats.LaterRoundsTime += d.LaterRoundsTime
 }

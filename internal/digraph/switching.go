@@ -5,16 +5,14 @@ import (
 	"errors"
 	"time"
 
-	"gesmc/internal/conc"
-	"gesmc/internal/graph"
+	"gesmc/internal/switching"
 )
 
-// Switch is one directed edge switch: two arc-list indices. Directed
-// switches need no direction bit (Definition 1 adapted; exchanging tails
-// instead of heads yields the same unordered pair of target arcs).
-type Switch struct {
-	I, J uint32
-}
+// Switch is one directed edge switch: two arc-list indices. It is the
+// kernel's switch type; the direction bit is ignored by directed chains
+// (Definition 1 adapted; exchanging tails instead of heads yields the
+// same unordered pair of target arcs).
+type Switch = switching.Switch
 
 // ErrTooSmall is returned for digraphs with fewer than two arcs.
 var ErrTooSmall = errors.New("digraph: graph has fewer than 2 arcs")
@@ -48,206 +46,20 @@ func ExecuteSequential(A []Arc, S map[Arc]struct{}, switches []Switch) int64 {
 	return legal
 }
 
-// arcEdge reinterprets an arc as a conc key. Arcs pack (tail, head) in
-// 32+32 bits exactly like canonical edges pack (min, max); the conc
-// containers never canonicalize, so the reuse is sound as long as nodes
-// stay below 2^28 (checked at graph construction).
-func arcEdge(a Arc) graph.Edge { return graph.Edge(a) }
-
 // SuperstepRunner decides batches of source-independent directed
-// switches in parallel with the same round structure as the undirected
-// Algorithm 1: erase tuples for the two source arcs, insert tuples for
-// the two target arcs, delays on undecided earlier switches.
-type SuperstepRunner struct {
-	A       []Arc
-	Set     *conc.EdgeSet
-	table   *conc.DepTable
-	workers int
-
-	undecided []int32
-	delayed   [][]int32
-
-	InternalSupersteps int
-	TotalRounds        int64
-	MaxRounds          int
-	Legal              int64
-	FirstRoundTime     time.Duration
-	LaterRoundsTime    time.Duration
-}
+// switches in parallel. It is the directed instantiation of the generic
+// kernel in internal/switching — identical round structure, pessimistic
+// scheduler, and padded counters as the undirected Algorithm 1; the arc
+// type's Targets method (head exchange) is the only directed
+// ingredient. Arcs pack (tail, head) in 32+32 bits exactly like
+// canonical edges pack (min, max); the conc containers never
+// canonicalize, so the reuse is sound as long as nodes stay below 2^28
+// (checked at graph construction).
+type SuperstepRunner = switching.Runner[Arc]
 
 // NewSuperstepRunner prepares a runner over the arc list A.
 func NewSuperstepRunner(A []Arc, maxSwitches, workers int) *SuperstepRunner {
-	if workers < 1 {
-		workers = 1
-	}
-	set := conc.NewEdgeSet(len(A) * 2)
-	conc.Blocks(len(A), workers, func(_, lo, hi int) {
-		for _, a := range A[lo:hi] {
-			set.InsertUnique(arcEdge(a))
-		}
-	})
-	return &SuperstepRunner{
-		A:       A,
-		Set:     set,
-		table:   conc.NewDepTable(maxSwitches),
-		workers: workers,
-		delayed: make([][]int32, workers),
-	}
-}
-
-// Run performs one superstep of switches without source dependencies.
-func (r *SuperstepRunner) Run(switches []Switch) {
-	n := len(switches)
-	if n == 0 {
-		return
-	}
-	w := r.workers
-	t := r.table
-	t.Reset(n, w)
-
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			sw := switches[k]
-			a1, a2 := r.A[sw.I], r.A[sw.J]
-			t1, t2 := SwitchTargets(a1, a2)
-			t.Store(k, 0, arcEdge(a1), conc.KindErase)
-			t.Store(k, 1, arcEdge(a2), conc.KindErase)
-			t.Store(k, 2, arcEdge(t1), conc.KindInsert)
-			t.Store(k, 3, arcEdge(t2), conc.KindInsert)
-		}
-	})
-
-	undecided := r.undecided[:0]
-	for k := 0; k < n; k++ {
-		undecided = append(undecided, int32(k))
-	}
-	rounds := 0
-	var legalCount int64
-	for len(undecided) > 0 {
-		roundStart := time.Now()
-		rounds++
-		for i := range r.delayed {
-			r.delayed[i] = r.delayed[i][:0]
-		}
-		legals := make([]int64, w)
-		conc.Blocks(len(undecided), w, func(worker, lo, hi int) {
-			for _, k := range undecided[lo:hi] {
-				st := r.decide(switches[k], int(k))
-				switch st {
-				case conc.StatusLegal:
-					legals[worker]++
-				case conc.StatusUndecided:
-					r.delayed[worker] = append(r.delayed[worker], k)
-				}
-				if st != conc.StatusUndecided {
-					t.Status[int(k)].Store(st)
-				}
-			}
-		})
-		for _, l := range legals {
-			legalCount += l
-		}
-		undecided = undecided[:0]
-		for _, d := range r.delayed {
-			undecided = append(undecided, d...)
-		}
-		if rounds == 1 {
-			r.FirstRoundTime += time.Since(roundStart)
-		} else {
-			r.LaterRoundsTime += time.Since(roundStart)
-		}
-	}
-	r.undecided = undecided
-
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.EraseUnique(graph.Edge(t.Key(base)))
-			r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
-		}
-	})
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
-		}
-	})
-	if r.Set.NeedsCompact() {
-		edges := make([]graph.Edge, len(r.A))
-		for i, a := range r.A {
-			edges[i] = arcEdge(a)
-		}
-		r.Set.Compact(edges, w)
-	}
-
-	r.Legal += legalCount
-	r.InternalSupersteps++
-	r.TotalRounds += int64(rounds)
-	if rounds > r.MaxRounds {
-		r.MaxRounds = rounds
-	}
-}
-
-func (r *SuperstepRunner) decide(sw Switch, k int) uint32 {
-	t := r.table
-	base := 4 * k
-	a1 := Arc(t.Key(base))
-	a2 := Arc(t.Key(base + 1))
-	t1 := Arc(t.Key(base + 2))
-	t2 := Arc(t.Key(base + 3))
-
-	st := conc.StatusLegal
-	if t1.IsLoop() || t2.IsLoop() || a1 == a2 ||
-		t1 == a1 || t1 == a2 || t2 == a1 || t2 == a2 {
-		st = conc.StatusIllegal
-	} else {
-		delay := false
-		for _, target := range [2]Arc{t1, t2} {
-			key := arcEdge(target)
-			if p, ok := t.EraseTuple(key); ok {
-				if k < p {
-					st = conc.StatusIllegal
-					break
-				}
-				switch t.Status[p].Load() {
-				case conc.StatusIllegal:
-					st = conc.StatusIllegal
-				case conc.StatusUndecided:
-					delay = true
-				}
-				if st == conc.StatusIllegal {
-					break
-				}
-			} else if r.Set.Contains(key) {
-				st = conc.StatusIllegal
-				break
-			}
-			if q, sq, ok := t.MinInsert(key); ok && q < k {
-				if sq == conc.StatusLegal {
-					st = conc.StatusIllegal
-					break
-				}
-				if sq == conc.StatusUndecided {
-					delay = true
-				}
-			}
-		}
-		if st != conc.StatusIllegal && delay {
-			return conc.StatusUndecided
-		}
-	}
-	if st == conc.StatusLegal {
-		r.A[sw.I] = t1
-		r.A[sw.J] = t2
-	}
-	return st
+	return switching.NewRunner(A, maxSwitches, workers)
 }
 
 // GlobalSwitches pairs a permutation prefix into directed switches.
@@ -269,6 +81,8 @@ type RunStats struct {
 	TotalRounds        int64
 	AvgRounds          float64
 	MaxRounds          int
+	FirstRoundTime     time.Duration
+	LaterRoundsTime    time.Duration
 	Duration           time.Duration
 }
 

@@ -76,6 +76,13 @@ func (d DirectedEdge) Canonical() Edge {
 	return MakeEdge(d.Tail, d.Head)
 }
 
+// Targets computes the two target edges of the switch (e, other, g);
+// it is the method form of SwitchTargets satisfying the generic
+// kernel's edge constraint (switching.EdgeKind).
+func (e Edge) Targets(other Edge, g bool) (Edge, Edge) {
+	return SwitchTargets(e, other, g)
+}
+
 // SwitchTargets computes the two target edges of an edge switch with
 // direction bit g applied to the directed representations of e1 and e2
 // (the function τ of Definition 1):

@@ -1,0 +1,175 @@
+package switching
+
+import (
+	"time"
+
+	"gesmc/internal/conc"
+)
+
+// Stats aggregates the kernel's observable behaviour across supersteps.
+// The field names follow Figure 9 of the paper: InternalSupersteps
+// counts kernel invocations, TotalRounds/MaxRounds the decision rounds
+// they needed, Legal the accepted items, and the two durations split
+// round time into the first round (where almost all work happens under
+// the natural scheduler) and the re-examination tail.
+type Stats struct {
+	InternalSupersteps int
+	TotalRounds        int64
+	MaxRounds          int
+	Legal              int64
+	FirstRoundTime     time.Duration
+	LaterRoundsTime    time.Duration
+}
+
+// Sub returns the field-wise increment from prev to s, so callers can
+// carve per-Steps deltas out of a runner's cumulative totals. MaxRounds
+// does not decompose into increments and is carried over cumulatively.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		InternalSupersteps: s.InternalSupersteps - prev.InternalSupersteps,
+		TotalRounds:        s.TotalRounds - prev.TotalRounds,
+		MaxRounds:          s.MaxRounds,
+		Legal:              s.Legal - prev.Legal,
+		FirstRoundTime:     s.FirstRoundTime - prev.FirstRoundTime,
+		LaterRoundsTime:    s.LaterRoundsTime - prev.LaterRoundsTime,
+	}
+}
+
+// paddedCounter is a per-worker counter padded to its own cache line.
+type paddedCounter struct {
+	v int64
+	_ [7]int64
+}
+
+// decision is a deferred status store used by the pessimistic scheduler.
+type decision struct {
+	k  int32
+	st uint32
+}
+
+// Decide attempts to decide item k and returns conc.StatusLegal,
+// conc.StatusIllegal, or conc.StatusUndecided (delay to the next
+// round). worker identifies the calling goroutine for per-worker
+// scratch state. A Legal decision may apply its effects immediately;
+// the driver publishes the status separately so the linearization point
+// other items observe stays under scheduler control.
+type Decide func(worker int, k int32) uint32
+
+// Publish makes a decision visible to other items' Decide calls —
+// typically an atomic store into a status table. Chains whose items
+// never consult each other's statuses pass nil.
+type Publish func(k int32, st uint32)
+
+// RoundDriver executes the round loop of Algorithm 1 (phase 2, lines
+// 7-35) for any decision kind: items start undecided, each round
+// attempts every still-undecided item in parallel, and items that
+// depend on a same-batch decision not yet published delay to the next
+// round. The driver owns the scratch state reused across supersteps.
+type RoundDriver struct {
+	workers int
+
+	// Pessimistic simulates the worst-case scheduler of Theorems 2-3:
+	// status publications become visible only at round barriers, so
+	// every dependency on a same-round item forces a delay. Rounds
+	// counted in this mode are the quantity the paper's theory bounds
+	// (expected <= 4*Delta^2/m, O(1) for regular graphs). Decisions are
+	// identical either way; only the round structure differs.
+	Pessimistic bool
+
+	undecided []int32
+	delayed   [][]int32
+	deferred  [][]decision
+	legalTot  []paddedCounter
+
+	// Stats accumulated across supersteps.
+	Stats
+}
+
+// Init prepares the driver for the given parallelism degree. It must be
+// called once before Run; workers < 1 is treated as 1.
+func (d *RoundDriver) Init(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	d.workers = workers
+	d.delayed = make([][]int32, workers)
+	d.deferred = make([][]decision, workers)
+	d.legalTot = make([]paddedCounter, workers)
+}
+
+// Workers returns the parallelism degree the driver was initialized
+// with.
+func (d *RoundDriver) Workers() int { return d.workers }
+
+// Run decides one superstep of n items through the round loop. decide
+// is invoked at most once per item and round; publish (if non-nil)
+// makes non-delayed decisions visible — immediately under the natural
+// scheduler, at the round barrier under the pessimistic one.
+func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
+	if n == 0 {
+		return
+	}
+	w := d.workers
+	undecided := d.undecided[:0]
+	for k := 0; k < n; k++ {
+		undecided = append(undecided, int32(k))
+	}
+	rounds := 0
+	for len(undecided) > 0 {
+		roundStart := time.Now()
+		rounds++
+		for i := range d.delayed {
+			d.delayed[i] = d.delayed[i][:0]
+			d.deferred[i] = d.deferred[i][:0]
+		}
+		conc.Blocks(len(undecided), w, func(worker, lo, hi int) {
+			var legal int64
+			for _, k := range undecided[lo:hi] {
+				st := decide(worker, k)
+				switch st {
+				case conc.StatusLegal:
+					legal++
+				case conc.StatusUndecided:
+					d.delayed[worker] = append(d.delayed[worker], k)
+				}
+				if st != conc.StatusUndecided && publish != nil {
+					if d.Pessimistic {
+						// Defer visibility to the round barrier: the
+						// worst-case scheduler of the analysis.
+						d.deferred[worker] = append(d.deferred[worker], decision{k: k, st: st})
+					} else {
+						publish(k, st)
+					}
+				}
+			}
+			d.legalTot[worker].v += legal
+		})
+		if d.Pessimistic && publish != nil {
+			for _, ds := range d.deferred {
+				for _, dec := range ds {
+					publish(dec.k, dec.st)
+				}
+			}
+		}
+		undecided = undecided[:0]
+		for _, dl := range d.delayed {
+			undecided = append(undecided, dl...)
+		}
+		if rounds == 1 {
+			d.FirstRoundTime += time.Since(roundStart)
+		} else {
+			d.LaterRoundsTime += time.Since(roundStart)
+		}
+	}
+	d.undecided = undecided
+
+	for i := range d.legalTot {
+		d.Legal += d.legalTot[i].v
+		d.legalTot[i].v = 0
+	}
+	d.InternalSupersteps++
+	d.TotalRounds += int64(rounds)
+	if rounds > d.MaxRounds {
+		d.MaxRounds = rounds
+	}
+}

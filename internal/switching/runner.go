@@ -1,0 +1,198 @@
+package switching
+
+import (
+	"gesmc/internal/conc"
+	"gesmc/internal/graph"
+)
+
+// Runner executes supersteps of source-independent switches in parallel
+// (Algorithm 1, ParallelSuperstep), generically over the edge encoding:
+// Runner[graph.Edge] is the paper's undirected kernel, Runner[digraph.Arc]
+// the directed/bipartite one. It owns the concurrent edge set and the
+// dependency table, both reused across supersteps; the round loop,
+// pessimistic scheduler, and padded counters come from the embedded
+// RoundDriver, so every instantiation gets identical scheduling and
+// observability.
+//
+// Semantics refinement over the printed pseudocode (see DESIGN.md §2):
+// a switch whose target coincides with one of its own source edges is
+// decided illegal, matching Definition 1 exactly ("already exists in
+// E"). The printed Algorithm 1 would accept such switches as no-ops;
+// both choices yield the same graphs, but ours additionally makes the
+// edge list bit-identical to sequential execution, which the
+// differential tests exploit.
+type Runner[E EdgeKind[E]] struct {
+	RoundDriver
+
+	// E is the authoritative edge (or arc) list, rewired in place.
+	E   []E
+	Set *conc.EdgeSet
+
+	table   *conc.DepTable
+	scratch []graph.Edge // compaction buffer, lazily allocated
+}
+
+// NewRunner prepares a runner for edge list E, supporting supersteps of
+// up to maxSwitches switches. The edge set is built in parallel with
+// workers goroutines.
+func NewRunner[E EdgeKind[E]](edges []E, maxSwitches, workers int) *Runner[E] {
+	set := conc.NewEdgeSet(len(edges) * 2)
+	conc.Blocks(len(edges), workers, func(_, lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			set.InsertUnique(graph.Edge(e))
+		}
+	})
+	r := &Runner[E]{
+		E:     edges,
+		Set:   set,
+		table: conc.NewDepTable(maxSwitches),
+	}
+	r.RoundDriver.Init(workers)
+	return r
+}
+
+// Run performs one superstep: the switches must be free of source
+// dependencies (each edge index appears at most once). The edge list
+// and edge set are updated to the post-superstep state.
+func (r *Runner[E]) Run(switches []Switch) {
+	n := len(switches)
+	if n == 0 {
+		return
+	}
+	w := r.workers
+	t := r.table
+	t.Reset(n, w)
+
+	// Phase 1 (Algorithm 1, lines 1-6): store the four dependency
+	// tuples of every switch. Tuple slots are deterministic (4k..4k+3):
+	// keys[4k]=e1, +1=e2, +2=e3, +3=e4, which decide() reads back.
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			sw := switches[k]
+			e1 := r.E[sw.I]
+			e2 := r.E[sw.J]
+			t3, t4 := e1.Targets(e2, sw.G)
+			t.Store(k, 0, graph.Edge(e1), conc.KindErase)
+			t.Store(k, 1, graph.Edge(e2), conc.KindErase)
+			t.Store(k, 2, graph.Edge(t3), conc.KindInsert)
+			t.Store(k, 3, graph.Edge(t4), conc.KindInsert)
+		}
+	})
+
+	// Phase 2 (lines 7-35): decide switches in rounds via the shared
+	// driver; statuses publish into the dependency table, which is the
+	// linearization point observed by dependent switches.
+	r.RoundDriver.Run(n,
+		func(_ int, k int32) uint32 { return r.decide(switches[k], int(k)) },
+		func(k int32, st uint32) { t.Status[int(k)].Store(st) },
+	)
+
+	// Phase 3: apply the accepted switches to the edge set. Erasures
+	// first, then insertions, so an edge that is erased by one switch
+	// and re-inserted by another nets out present.
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if t.Status[k].Load() != conc.StatusLegal {
+				continue
+			}
+			base := 4 * k
+			r.Set.EraseUnique(graph.Edge(t.Key(base)))
+			r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
+		}
+	})
+	conc.Blocks(n, w, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			if t.Status[k].Load() != conc.StatusLegal {
+				continue
+			}
+			base := 4 * k
+			r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
+			r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
+		}
+	})
+	if r.Set.NeedsCompact() {
+		if cap(r.scratch) < len(r.E) {
+			r.scratch = make([]graph.Edge, len(r.E))
+		}
+		s := r.scratch[:len(r.E)]
+		conc.Blocks(len(r.E), w, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s[i] = graph.Edge(r.E[i])
+			}
+		})
+		r.Set.Compact(s, w)
+	}
+}
+
+// decide attempts to decide switch k (Algorithm 1, lines 10-33) and
+// returns its resulting status. Legal switches rewire the edge list
+// immediately; the driver publishes the status (immediately, or at the
+// round barrier under the pessimistic scheduler).
+func (r *Runner[E]) decide(sw Switch, k int) uint32 {
+	t := r.table
+	base := 4 * k
+	e1 := E(t.Key(base))
+	e2 := E(t.Key(base + 1))
+	t3 := E(t.Key(base + 2))
+	t4 := E(t.Key(base + 3))
+
+	st := conc.StatusLegal
+	if isLoop(t3) || isLoop(t4) || e1 == e2 ||
+		t3 == e1 || t3 == e2 || t4 == e1 || t4 == e2 {
+		// Loops, or targets equal to own sources ("already exists in
+		// E" per Definition 1); e1 == e2 can only arise from a caller
+		// bug but is rejected defensively.
+		st = conc.StatusIllegal
+	} else {
+		delay := false
+		for _, target := range [2]E{t3, t4} {
+			key := graph.Edge(target)
+			if p, ok := t.EraseTuple(key); ok {
+				if p == k {
+					// Own source: already handled above; unreachable.
+					st = conc.StatusIllegal
+					break
+				}
+				if k < p {
+					// Erased only by a later switch: the target
+					// exists at σ_k's turn (line 19, k < p).
+					st = conc.StatusIllegal
+					break
+				}
+				switch t.Status[p].Load() {
+				case conc.StatusIllegal:
+					// σ_p did not erase the target after all.
+					st = conc.StatusIllegal
+				case conc.StatusUndecided:
+					delay = true // line 24
+				}
+				if st == conc.StatusIllegal {
+					break
+				}
+			} else if r.Set.Contains(key) {
+				// In the graph and not sourced by this superstep:
+				// the implicit (e, ∞, erase, illegal) tuple.
+				st = conc.StatusIllegal
+				break
+			}
+			if q, sq, ok := t.MinInsert(key); ok && q < k {
+				if sq == conc.StatusLegal {
+					st = conc.StatusIllegal // line 21
+					break
+				}
+				if sq == conc.StatusUndecided {
+					delay = true // line 26
+				}
+			}
+		}
+		if st != conc.StatusIllegal && delay {
+			return conc.StatusUndecided // re-examined next round
+		}
+	}
+
+	if st == conc.StatusLegal {
+		r.E[sw.I] = t3
+		r.E[sw.J] = t4
+	}
+	return st
+}

@@ -1,0 +1,57 @@
+// Package switching implements the paper's parallel superstep
+// discipline (Algorithm 1) exactly once, generically over the edge
+// type, so that every switching chain in the repository — undirected
+// (core), directed and bipartite (digraph), and the trade chains
+// (curveball) — executes through a single kernel instead of hand-rolled
+// copies.
+//
+// The kernel splits into two layers:
+//
+//   - RoundDriver (rounds.go): the chain-agnostic round loop of
+//     Algorithm 1's phase 2 — undecided lists, per-worker delay
+//     buffers, cache-line-padded legal counters, the pessimistic
+//     worst-case scheduler of Theorems 2-3 (decisions published only at
+//     round barriers), and the first-round/later-rounds timing split of
+//     Figure 9. Any batch of items whose decisions may depend on
+//     earlier items' decisions can run through it.
+//
+//   - Runner[E] (runner.go): the edge-switch instantiation — the
+//     dependency-table phases (tuple registration, round-based
+//     decisions, erase/insert application, compaction) over a
+//     concurrent edge set, parameterized by the 64-bit edge encoding E.
+//     graph.Edge (canonical undirected edges) and digraph.Arc
+//     (orientation-preserving directed arcs) both instantiate it; the
+//     only chain-specific ingredient is the Targets method computing
+//     the two target edges of a switch.
+//
+// The curveball package plugs a third decision kind into the
+// RoundDriver: disjoint-neighborhood trades whose per-superstep edge
+// ownership discipline makes every trade decidable in the first round
+// (see DESIGN.md §4).
+package switching
+
+// Switch is one edge switch σ = (i, j, g): two edge-list indices plus a
+// direction bit (Definition 1). Directed chains ignore the direction
+// bit: exchanging tails instead of heads yields the same unordered pair
+// of target arcs.
+type Switch struct {
+	I, J uint32
+	G    bool
+}
+
+// EdgeKind constrains the 64-bit edge encodings the kernel is generic
+// over. Targets computes the two target edges of the switch (e, other,
+// g) — the function τ of Definition 1 for undirected edges, the head
+// exchange for directed arcs.
+type EdgeKind[E any] interface {
+	~uint64
+	Targets(other E, g bool) (E, E)
+}
+
+// isLoop reports whether both endpoints of e coincide. Canonical edges
+// and directed arcs pack their endpoints identically (32 bits each), so
+// one implementation serves every instantiation.
+func isLoop[E EdgeKind[E]](e E) bool {
+	x := uint64(e)
+	return uint32(x>>32) == uint32(x)
+}

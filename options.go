@@ -68,7 +68,10 @@ func WithAlgorithm(a Algorithm) Option {
 }
 
 // WithWorkers sets the parallelism degree P of the parallel algorithms
-// (ignored by sequential ones). Default: 1.
+// — NaiveParES, ParES, ParGlobalES (undirected, directed, and
+// bipartite targets), and the Curveball/GlobalCurveball trade chains —
+// and is ignored by the sequential ones. The trade chains produce
+// bit-identical results for every worker count. Default: 1.
 func WithWorkers(p int) Option {
 	return func(c *samplerConfig) error {
 		if p < 1 {

@@ -33,13 +33,18 @@ const (
 	AdjSortES
 	// Curveball is the Curveball trade chain (Carstens, Berger & Strona
 	// 2016): one superstep performs ⌊n/2⌋ uniformly random trades, each
-	// shuffling the disjoint neighborhoods of two nodes. Undirected
-	// targets only.
+	// shuffling the disjoint neighborhoods of two nodes. Trades execute
+	// as node-disjoint batches through the unified superstep kernel
+	// (DESIGN.md §4), so WithWorkers applies and results are invariant
+	// under the worker count. Undirected targets only.
 	Curveball
 	// GlobalCurveball is the Global Curveball chain (Carstens et al.,
 	// ESA 2018), the trade analogue of G-ES-MC: one superstep is one
-	// global trade pairing every node exactly once. Undirected targets
-	// only.
+	// global trade pairing every node exactly once, executed as one
+	// parallel superstep under the per-batch edge ownership discipline
+	// of DESIGN.md §4 (every edge trades at most — and here exactly at
+	// most — once per global trade). WithWorkers applies; results are
+	// invariant under the worker count. Undirected targets only.
 	GlobalCurveball
 )
 

@@ -9,8 +9,7 @@ import (
 	"gesmc/internal/core"
 	"gesmc/internal/curveball"
 	"gesmc/internal/digraph"
-	"gesmc/internal/graph"
-	"gesmc/internal/rng"
+	"gesmc/internal/switching"
 )
 
 // Target is a graph class the Sampler can randomize: *Graph (simple
@@ -329,41 +328,49 @@ func (e *graphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 
 func (e *graphEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
 
-// curveballEngine adapts the Curveball trade state to the sampler. One
+// curveballEngine adapts the parallel trade kernel to the sampler. One
 // superstep is one global trade (GlobalCurveball) or ⌊n/2⌋ uniformly
 // random trades (Curveball), mirroring the switch-chains' superstep
-// normalization. Trades have no rejection, so Accepted == Attempted ==
-// the number of trades performed.
+// normalization; both execute in superstep batches through the shared
+// round driver, so WithWorkers applies and the rounds instrumentation
+// is populated exactly like the parallel switching chains'. Trades have
+// no rejection, so Accepted == Attempted == the number of trades
+// performed, and results are bit-identical for every worker count.
 type curveballEngine struct {
 	g      *Graph
-	st     *curveball.State
-	src    rng.Source
+	eng    *curveball.Engine
 	global bool
+	prev   switching.Stats
+	prevAt int64
 }
 
 func (e *curveballEngine) steps(ctx context.Context, k int) (engineStats, error) {
 	start := time.Now()
 	var es engineStats
 	var err error
-	n := e.g.N()
 	for i := 0; i < k; i++ {
 		if cerr := ctx.Err(); cerr != nil {
 			err = cerr
 			break
 		}
 		if e.global {
-			e.st.GlobalTrade(e.src)
+			e.eng.GlobalStep()
 		} else {
-			for j := 0; j < n/2; j++ {
-				u, v := rng.TwoDistinct(e.src, n)
-				e.st.Trade(graph.Node(u), graph.Node(v), e.src)
-			}
+			e.eng.LocalStep()
 		}
 		es.supersteps++
-		es.attempted += int64(n / 2)
-		es.legal += int64(n / 2)
 	}
-	e.st.WriteEdges(e.g.raw().Edges())
+	d := e.eng.Stats().Sub(e.prev)
+	e.prev = e.eng.Stats()
+	es.attempted = e.eng.Attempted - e.prevAt
+	e.prevAt = e.eng.Attempted
+	es.legal = d.Legal
+	es.internal = d.InternalSupersteps
+	es.totalRounds = d.TotalRounds
+	es.maxRounds = d.MaxRounds
+	es.firstRound = d.FirstRoundTime
+	es.laterRounds = d.LaterRoundsTime
+	e.eng.WriteEdges(e.g.raw().Edges())
 	e.g.invalidate()
 	es.duration = time.Since(start)
 	return es, err
@@ -387,6 +394,8 @@ func (e *digraphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 		internal:    rs.InternalSupersteps,
 		totalRounds: rs.TotalRounds,
 		maxRounds:   rs.MaxRounds,
+		firstRound:  rs.FirstRoundTime,
+		laterRounds: rs.LaterRoundsTime,
 		duration:    rs.Duration,
 	}, err
 }
@@ -405,8 +414,7 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		}
 		return &curveballEngine{
 			g:      g,
-			st:     curveball.NewState(g.g),
-			src:    rng.NewMT19937(cfg.seed),
+			eng:    curveball.NewEngine(g.g, cfg.workers, cfg.seed),
 			global: cfg.algorithm == GlobalCurveball,
 		}, nil
 	}
