@@ -101,8 +101,10 @@ func RandomizeDirected(g *DiGraph, opt Options) (Stats, error) {
 		return Stats{}, err
 	}
 	st, err := s.Step(opt.supersteps())
-	// One-shot semantics: the reported duration includes the engine
-	// construction the caller paid for, as it always did.
+	// One-shot semantics: release the worker gang immediately (no
+	// sampler survives to Close it) and report a duration that includes
+	// the engine construction the caller paid for, as it always did.
+	s.Close()
 	st.Duration = time.Since(start)
 	return st, err
 }

@@ -16,7 +16,16 @@
 // Every parallel chain executes through one generic superstep kernel
 // (dependency tuples, round-based decisions, pessimistic worst-case
 // scheduling, identical rounds instrumentation — see DESIGN.md), so
-// WithWorkers applies uniformly. The algorithms:
+// WithWorkers applies uniformly. The kernel runs on a persistent
+// gang of worker goroutines owned by the sampler's engine: supersteps
+// reuse the parked gang instead of spawning goroutines, and the kernel
+// itself performs no steady-state heap allocations (chains still
+// allocate a few objects per superstep for their random permutations).
+// Call Sampler.Close to release the gang deterministically (a
+// finalizer reclaims leaked ones).
+// WithPrefetch enables the §5.4 pre-touch pipeline in every chain,
+// sequential and parallel alike, without changing any result.
+// The algorithms:
 //
 //	Algorithm        chain     targets              parallel  notes
 //	SeqES            ES-MC     undirected+directed  no        §5 hash set + edge array

@@ -25,23 +25,55 @@ const (
 // switch σ_k of a superstep it stores four tuples — (e1, k, erase),
 // (e2, k, erase), (e3, k, insert), (e4, k, insert) — indexed by edge, in
 // a lock-free chained hash table. All tuples of σ_k share the single
-// status word Status[k], so the "update" of Algorithm 1 (lines 32–33)
+// status word of switch k, so the "update" of Algorithm 1 (lines 32–33)
 // collapses into one atomic store.
 //
 // The arena is laid out deterministically: the tuples of switch k live at
 // positions 4k .. 4k+3, so phase 1 needs no allocation synchronization —
 // workers only contend on the bucket head CAS.
+//
+// Epoch-stamped reset: bucket heads pack (epoch, arena index) into one
+// word and status words pack (epoch, status); a head or status whose
+// epoch differs from the table's current one reads as empty/undecided.
+// Reset therefore only bumps the epoch — O(1) instead of O(capacity) —
+// and performs a genuine clear only when the epoch tag would wrap
+// (every 2^30-1 supersteps). The epoch itself is written only at the
+// quiescent superstep boundary and is read-only during a superstep.
+//
+// Sequential mode (SetSequential) replaces the head CAS loop and the
+// status XCHG with plain stores: a 1-worker gang has no concurrency to
+// synchronize, and the locked read-modify-writes are pure overhead on
+// the hottest loop of the kernel. Loads are unaffected (plain and
+// atomic loads cost the same); the mode only changes the write side.
 type DepTable struct {
-	heads   []atomic.Int32 // bucket -> arena index of first entry, -1 if none
+	heads   []uint64 // bucket -> epoch<<32 | arena index of first entry
 	mask    uint64
-	keys    []uint64 // arena: edge key per tuple
-	meta    []uint32 // arena: switch index (31 bits) | kind (top bit)
-	next    []int32  // arena: chain link
-	Status  []atomic.Uint32
+	entries []depEntry // arena, interleaved so one chain hop costs one line
+	status  []uint32   // epoch<<2 | status; stale epoch reads undecided
+	epoch   uint32     // 1 .. epochMax; stored tags match iff current
+	seq     bool
 	nSwitch int
 }
 
-const kindInsertBit = uint32(1) << 31
+// depEntry is one arena tuple: the edge key, the switch index (31 bits)
+// with the kind in the top bit, and the chain link. The three fields a
+// chain walk reads sit in 16 contiguous bytes, so following a chain
+// entry costs one cache line instead of the three a split-array layout
+// pays.
+type depEntry struct {
+	key  uint64
+	meta uint32 // switch index | kindInsertBit
+	next int32  // chain link, -1 terminates
+}
+
+const (
+	kindInsertBit = uint32(1) << 31
+	// statusEpochShift leaves the low 2 bits for the status value.
+	statusEpochShift = 2
+	// epochMax bounds the epoch tag by the status word's 30 epoch bits
+	// (head words have 32 and are never the binding constraint).
+	epochMax = 1<<30 - 1
+)
 
 // NewDepTable returns a table with room for maxSwitches switches per
 // superstep. The same table is reused across supersteps via Reset.
@@ -50,45 +82,83 @@ func NewDepTable(maxSwitches int) *DepTable {
 	if nb < 16 {
 		nb = 16
 	}
-	t := &DepTable{
-		heads:  make([]atomic.Int32, nb),
-		mask:   uint64(nb - 1),
-		keys:   make([]uint64, 4*maxSwitches),
-		meta:   make([]uint32, 4*maxSwitches),
-		next:   make([]int32, 4*maxSwitches),
-		Status: make([]atomic.Uint32, maxSwitches),
+	return &DepTable{
+		heads:   make([]uint64, nb),
+		mask:    uint64(nb - 1),
+		entries: make([]depEntry, 4*maxSwitches),
+		status:  make([]uint32, maxSwitches),
+		epoch:   0, // first Reset moves to 1; zeroed words can never match
 	}
-	for i := range t.heads {
-		t.heads[i].Store(-1)
-	}
-	return t
 }
 
-// Reset prepares the table for a superstep of nSwitches switches,
-// clearing bucket heads and statuses with workers goroutines.
-func (t *DepTable) Reset(nSwitches, workers int) {
-	if nSwitches > len(t.Status) {
+// SetSequential switches the table's write side between the concurrent
+// (CAS/atomic-store) and the plain single-goroutine paths. Callers set
+// it once, when they know the gang size that will drive the table.
+func (t *DepTable) SetSequential(on bool) { t.seq = on }
+
+// Reset prepares the table for a superstep of nSwitches switches by
+// advancing the epoch: all previously stored heads and statuses become
+// stale in O(1). The caller must be quiescent (superstep boundary).
+func (t *DepTable) Reset(nSwitches int) {
+	if nSwitches > len(t.status) {
 		panic("conc: DepTable capacity exceeded")
 	}
 	t.nSwitch = nSwitches
-	Blocks(len(t.heads), workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t.heads[i].Store(-1)
+	if t.epoch >= epochMax {
+		// Epoch tag wrap: genuinely clear so stale tags cannot alias.
+		for i := range t.heads {
+			t.heads[i] = 0
 		}
-	})
-	Blocks(nSwitches, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t.Status[i].Store(StatusUndecided)
+		for i := range t.status {
+			t.status[i] = 0
 		}
-	})
+		t.epoch = 0
+	}
+	t.epoch++
 }
 
 // Key returns the edge key stored in arena position pos (tuple slot
 // 4k+s of switch k). Valid after the corresponding Store.
-func (t *DepTable) Key(pos int) uint64 { return t.keys[pos] }
+func (t *DepTable) Key(pos int) uint64 { return t.entries[pos].key }
+
+// StatusOf returns the status of switch k this superstep.
+func (t *DepTable) StatusOf(k int) uint32 {
+	v := atomic.LoadUint32(&t.status[k])
+	if v>>statusEpochShift != t.epoch {
+		return StatusUndecided
+	}
+	return v & 3
+}
+
+// SetStatus publishes the status of switch k (the linearization point
+// observed by dependent switches).
+func (t *DepTable) SetStatus(k int, st uint32) {
+	v := t.epoch<<statusEpochShift | st
+	if t.seq {
+		t.status[k] = v
+		return
+	}
+	atomic.StoreUint32(&t.status[k], v)
+}
 
 func (t *DepTable) bucket(e graph.Edge) uint64 {
 	return rng.Mix64(uint64(e)) & t.mask
+}
+
+// Touch loads the head bucket of e, pulling its cache line in ahead of
+// a later Store or Probe — the §5.4 pre-touch hint for the dependency
+// table. Purely a memory hint; staleness cannot affect correctness.
+func (t *DepTable) Touch(e graph.Edge) {
+	_ = atomic.LoadUint64(&t.heads[t.bucket(e)])
+}
+
+// headOf decodes a head word: the arena index of the chain's first
+// entry, or -1 when the bucket holds no entry of the current epoch.
+func (t *DepTable) headOf(h uint64) int32 {
+	if uint32(h>>32) != t.epoch {
+		return -1
+	}
+	return int32(uint32(h))
 }
 
 // Store registers tuple slot (0..3) of switch k: an operation of the
@@ -96,17 +166,24 @@ func (t *DepTable) bucket(e graph.Edge) uint64 {
 // pairs.
 func (t *DepTable) Store(k int, slot int, e graph.Edge, kind uint8) {
 	pos := int32(4*k + slot)
-	t.keys[pos] = uint64(e)
+	ent := &t.entries[pos]
+	ent.key = uint64(e)
 	m := uint32(k)
 	if kind == KindInsert {
 		m |= kindInsertBit
 	}
-	t.meta[pos] = m
+	ent.meta = m
 	head := &t.heads[t.bucket(e)]
+	tagged := uint64(t.epoch)<<32 | uint64(uint32(pos))
+	if t.seq {
+		ent.next = t.headOf(*head)
+		*head = tagged
+		return
+	}
 	for {
-		old := head.Load()
-		t.next[pos] = old
-		if head.CompareAndSwap(old, pos) {
+		old := atomic.LoadUint64(head)
+		ent.next = t.headOf(old)
+		if atomic.CompareAndSwapUint64(head, old, tagged) {
 			return
 		}
 	}
@@ -117,10 +194,12 @@ func (t *DepTable) Store(k int, slot int, e graph.Edge, kind uint8) {
 // paper there is at most one such switch.
 func (t *DepTable) EraseTuple(e graph.Edge) (idx int, ok bool) {
 	key := uint64(e)
-	for pos := t.heads[t.bucket(e)].Load(); pos >= 0; pos = t.next[pos] {
-		if t.keys[pos] == key && t.meta[pos]&kindInsertBit == 0 {
-			return int(t.meta[pos]), true
+	for pos := t.headOf(atomic.LoadUint64(&t.heads[t.bucket(e)])); pos >= 0; {
+		ent := &t.entries[pos]
+		if ent.key == key && ent.meta&kindInsertBit == 0 {
+			return int(ent.meta), true
 		}
+		pos = ent.next
 	}
 	return 0, false
 }
@@ -134,15 +213,32 @@ func (t *DepTable) EraseTuple(e graph.Edge) (idx int, ok bool) {
 // caller re-examines the switch in the next round (the delay path),
 // which is always sound.
 func (t *DepTable) MinInsert(e graph.Edge) (q int, status uint32, ok bool) {
+	_, _, q, status, ok = t.Probe(e)
+	return q, status, ok
+}
+
+// Probe walks the chain of e once and answers both dependency queries
+// of Algorithm 1's decide step: the switch erasing e (EraseTuple) and
+// the smallest non-illegal inserter of e (MinInsert). The merged walk
+// halves the cache-missing chain traversals of the kernel's hottest
+// loop; the same raciness caveat as MinInsert applies.
+func (t *DepTable) Probe(e graph.Edge) (eraseIdx int, eraseOK bool, minQ int, minStatus uint32, minOK bool) {
 	key := uint64(e)
 	best := -1
 	var bestStatus uint32
-	for pos := t.heads[t.bucket(e)].Load(); pos >= 0; pos = t.next[pos] {
-		if t.keys[pos] != key || t.meta[pos]&kindInsertBit == 0 {
+	for pos := t.headOf(atomic.LoadUint64(&t.heads[t.bucket(e)])); pos >= 0; {
+		ent := &t.entries[pos]
+		pos = ent.next
+		if ent.key != key {
 			continue
 		}
-		idx := int(t.meta[pos] &^ kindInsertBit)
-		st := t.Status[idx].Load()
+		m := ent.meta
+		if m&kindInsertBit == 0 {
+			eraseIdx, eraseOK = int(m), true
+			continue
+		}
+		idx := int(m &^ kindInsertBit)
+		st := t.StatusOf(idx)
 		if st == StatusIllegal {
 			continue
 		}
@@ -152,7 +248,7 @@ func (t *DepTable) MinInsert(e graph.Edge) (q int, status uint32, ok bool) {
 		}
 	}
 	if best == -1 {
-		return 0, 0, false
+		return eraseIdx, eraseOK, 0, 0, false
 	}
-	return best, bestStatus, true
+	return eraseIdx, eraseOK, best, bestStatus, true
 }

@@ -4,7 +4,7 @@ import "testing"
 
 func TestDepTableStoreLookup(t *testing.T) {
 	dt := NewDepTable(8)
-	dt.Reset(4, 1)
+	dt.Reset(4)
 
 	e := edge(1, 2)
 	f := edge(3, 4)
@@ -33,22 +33,22 @@ func TestDepTableStoreLookup(t *testing.T) {
 
 func TestDepTableMinInsertSkipsIllegal(t *testing.T) {
 	dt := NewDepTable(8)
-	dt.Reset(4, 1)
+	dt.Reset(4)
 	e := edge(5, 6)
 	dt.Store(0, 2, e, KindInsert)
 	dt.Store(1, 2, e, KindInsert)
 	dt.Store(2, 2, e, KindInsert)
 
-	dt.Status[0].Store(StatusIllegal)
+	dt.SetStatus(0, StatusIllegal)
 	if q, st, ok := dt.MinInsert(e); !ok || q != 1 || st != StatusUndecided {
 		t.Fatalf("MinInsert after illegal[0] = %d, %d, %v", q, st, ok)
 	}
-	dt.Status[1].Store(StatusLegal)
+	dt.SetStatus(1, StatusLegal)
 	if q, st, ok := dt.MinInsert(e); !ok || q != 1 || st != StatusLegal {
 		t.Fatalf("MinInsert with legal[1] = %d, %d, %v", q, st, ok)
 	}
-	dt.Status[1].Store(StatusIllegal)
-	dt.Status[2].Store(StatusIllegal)
+	dt.SetStatus(1, StatusIllegal)
+	dt.SetStatus(2, StatusIllegal)
 	if _, _, ok := dt.MinInsert(e); ok {
 		t.Fatal("MinInsert found tuple though all inserters illegal")
 	}
@@ -56,16 +56,16 @@ func TestDepTableMinInsertSkipsIllegal(t *testing.T) {
 
 func TestDepTableResetClears(t *testing.T) {
 	dt := NewDepTable(8)
-	dt.Reset(2, 1)
+	dt.Reset(2)
 	e := edge(1, 2)
 	dt.Store(0, 0, e, KindErase)
-	dt.Status[0].Store(StatusLegal)
+	dt.SetStatus(0, StatusLegal)
 
-	dt.Reset(2, 2)
+	dt.Reset(2)
 	if _, ok := dt.EraseTuple(e); ok {
 		t.Fatal("tuple survived Reset")
 	}
-	if dt.Status[0].Load() != StatusUndecided {
+	if dt.StatusOf(0) != StatusUndecided {
 		t.Fatal("status survived Reset")
 	}
 }
@@ -73,7 +73,7 @@ func TestDepTableResetClears(t *testing.T) {
 func TestDepTableConcurrentStore(t *testing.T) {
 	const nSwitches = 4096
 	dt := NewDepTable(nSwitches)
-	dt.Reset(nSwitches, 4)
+	dt.Reset(nSwitches)
 	// Every switch k stores four tuples; several switches share target
 	// edges to build long chains.
 	Blocks(nSwitches, 8, func(_, lo, hi int) {
@@ -107,5 +107,5 @@ func TestDepTableCapacityPanic(t *testing.T) {
 		}
 	}()
 	dt := NewDepTable(2)
-	dt.Reset(3, 1)
+	dt.Reset(3)
 }

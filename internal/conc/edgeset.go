@@ -54,11 +54,18 @@ func unpackEdge(b uint64) graph.Edge {
 //   - TryLock/TryInsertLock/Unlock/EraseLocked implement the ticket
 //     semantics of NaiveParES and are safe for arbitrary concurrency.
 //   - Compact requires external quiescence (superstep boundary).
+//
+// Sequential mode (SetSequential) replaces the CAS and the counter
+// read-modify-writes of the unique insert/erase path with plain
+// operations: a 1-worker gang has no concurrency to synchronize, and
+// the locked instructions are pure overhead on the apply phase of the
+// kernel. The ticket path (TryLock etc.) stays atomic regardless.
 type EdgeSet struct {
 	buckets    []uint64
 	mask       uint64
-	size       atomic.Int64
-	tombstones atomic.Int64
+	seq        bool
+	size       int64
+	tombstones int64
 }
 
 // NewEdgeSet returns a set with room for capacity edges at load factor
@@ -84,11 +91,16 @@ func (s *EdgeSet) BuildFrom(edges []graph.Edge, workers int) {
 	})
 }
 
+// SetSequential switches the unique-path write side between the
+// concurrent (CAS/atomic-add) and the plain single-goroutine paths.
+// Callers set it once, when they know the gang size driving the set.
+func (s *EdgeSet) SetSequential(on bool) { s.seq = on }
+
 // Len returns the number of live edges.
-func (s *EdgeSet) Len() int { return int(s.size.Load()) }
+func (s *EdgeSet) Len() int { return int(atomic.LoadInt64(&s.size)) }
 
 // Tombstones returns the current tombstone count.
-func (s *EdgeSet) Tombstones() int { return int(s.tombstones.Load()) }
+func (s *EdgeSet) Tombstones() int { return int(atomic.LoadInt64(&s.tombstones)) }
 
 // Buckets returns the bucket count.
 func (s *EdgeSet) Buckets() int { return len(s.buckets) }
@@ -97,11 +109,19 @@ func (s *EdgeSet) home(packed uint64) uint64 {
 	return rng.Mix64(packed) & s.mask
 }
 
+// Touch loads the home bucket of e, pulling the probe chain's first
+// cache line in ahead of a later Contains/insert/erase — the pure-Go
+// analogue of §5.4's prefetch instructions, safe under any concurrency
+// (it is an atomic load whose value is discarded).
+func (s *EdgeSet) Touch(e graph.Edge) {
+	_ = atomic.LoadUint64(&s.buckets[s.home(packEdge(e))])
+}
+
 // Contains reports whether e is live in the set, ignoring lock bytes.
 func (s *EdgeSet) Contains(e graph.Edge) bool {
 	p := packEdge(e)
 	i := s.home(p)
-	for {
+	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == bucketEmpty {
 			return false
@@ -111,6 +131,7 @@ func (s *EdgeSet) Contains(e graph.Edge) bool {
 		}
 		i = (i + 1) & s.mask
 	}
+	panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
 }
 
 // InsertUnique inserts e, which must be absent, with no other goroutine
@@ -119,19 +140,37 @@ func (s *EdgeSet) Contains(e graph.Edge) bool {
 func (s *EdgeSet) InsertUnique(e graph.Edge) {
 	p := packEdge(e)
 	i := s.home(p)
+	if s.seq {
+		for probes := uint64(0); probes <= s.mask; probes++ {
+			b := s.buckets[i]
+			if b == bucketEmpty {
+				s.buckets[i] = p
+				s.size++
+				return
+			}
+			if b == bucketTombstone {
+				s.buckets[i] = p
+				s.size++
+				s.tombstones--
+				return
+			}
+			i = (i + 1) & s.mask
+		}
+		panic("conc: EdgeSet full")
+	}
 	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == bucketEmpty {
 			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketEmpty, p) {
-				s.size.Add(1)
+				atomic.AddInt64(&s.size, 1)
 				return
 			}
 			continue // slot raced away; re-examine it
 		}
 		if b == bucketTombstone {
 			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketTombstone, p) {
-				s.size.Add(1)
-				s.tombstones.Add(-1)
+				atomic.AddInt64(&s.size, 1)
+				atomic.AddInt64(&s.tombstones, -1)
 				return
 			}
 			continue
@@ -146,7 +185,26 @@ func (s *EdgeSet) InsertUnique(e graph.Edge) {
 func (s *EdgeSet) EraseUnique(e graph.Edge) {
 	p := packEdge(e)
 	i := s.home(p)
-	for {
+	if s.seq {
+		for probes := uint64(0); probes <= s.mask; probes++ {
+			b := s.buckets[i]
+			if b == bucketEmpty {
+				panic("conc: EraseUnique of absent edge")
+			}
+			if b&edgeMask == p {
+				if b != p {
+					panic("conc: EraseUnique of locked edge")
+				}
+				s.buckets[i] = bucketTombstone
+				s.size--
+				s.tombstones++
+				return
+			}
+			i = (i + 1) & s.mask
+		}
+		panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
+	}
+	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == bucketEmpty {
 			panic("conc: EraseUnique of absent edge")
@@ -155,12 +213,13 @@ func (s *EdgeSet) EraseUnique(e graph.Edge) {
 			if !atomic.CompareAndSwapUint64(&s.buckets[i], p, bucketTombstone) {
 				panic("conc: EraseUnique raced (edge locked or contended)")
 			}
-			s.size.Add(-1)
-			s.tombstones.Add(1)
+			atomic.AddInt64(&s.size, -1)
+			atomic.AddInt64(&s.tombstones, 1)
 			return
 		}
 		i = (i + 1) & s.mask
 	}
+	panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
 }
 
 // TryLock acquires the ticket for an existing unlocked edge by writing
@@ -170,7 +229,7 @@ func (s *EdgeSet) TryLock(e graph.Edge, owner uint8) bool {
 	p := packEdge(e)
 	lockBits := uint64(owner+1) << lockShift
 	i := s.home(p)
-	for {
+	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == bucketEmpty {
 			return false
@@ -183,6 +242,7 @@ func (s *EdgeSet) TryLock(e graph.Edge, owner uint8) bool {
 		}
 		i = (i + 1) & s.mask
 	}
+	panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
 }
 
 // TryInsertLock inserts e in locked state if it is absent. It fails if e
@@ -200,7 +260,7 @@ func (s *EdgeSet) TryInsertLock(e graph.Edge, owner uint8) bool {
 		}
 		if b == bucketEmpty {
 			if atomic.CompareAndSwapUint64(&s.buckets[i], bucketEmpty, locked) {
-				s.size.Add(1)
+				atomic.AddInt64(&s.size, 1)
 				return true
 			}
 			continue // re-examine raced slot: may now hold p
@@ -215,7 +275,7 @@ func (s *EdgeSet) Unlock(e graph.Edge, owner uint8) {
 	p := packEdge(e)
 	locked := p | uint64(owner+1)<<lockShift
 	i := s.home(p)
-	for {
+	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == locked {
 			if !atomic.CompareAndSwapUint64(&s.buckets[i], locked, p) {
@@ -228,6 +288,7 @@ func (s *EdgeSet) Unlock(e graph.Edge, owner uint8) {
 		}
 		i = (i + 1) & s.mask
 	}
+	panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
 }
 
 // EraseLocked removes edge e whose lock is held by owner.
@@ -235,14 +296,14 @@ func (s *EdgeSet) EraseLocked(e graph.Edge, owner uint8) {
 	p := packEdge(e)
 	locked := p | uint64(owner+1)<<lockShift
 	i := s.home(p)
-	for {
+	for probes := uint64(0); probes <= s.mask; probes++ {
 		b := atomic.LoadUint64(&s.buckets[i])
 		if b == locked {
 			if !atomic.CompareAndSwapUint64(&s.buckets[i], locked, bucketTombstone) {
 				panic("conc: EraseLocked raced")
 			}
-			s.size.Add(-1)
-			s.tombstones.Add(1)
+			atomic.AddInt64(&s.size, -1)
+			atomic.AddInt64(&s.tombstones, 1)
 			return
 		}
 		if b == bucketEmpty {
@@ -250,12 +311,29 @@ func (s *EdgeSet) EraseLocked(e graph.Edge, owner uint8) {
 		}
 		i = (i + 1) & s.mask
 	}
+	panic("conc: EdgeSet probe loop exhausted (tombstone-saturated or misused table)")
 }
 
 // NeedsCompact reports whether tombstones occupy more than a quarter of
 // the table.
 func (s *EdgeSet) NeedsCompact() bool {
-	return s.tombstones.Load()*4 > int64(len(s.buckets))
+	return atomic.LoadInt64(&s.tombstones)*4 > int64(len(s.buckets))
+}
+
+// ClearRange empties buckets [lo, hi). The caller must guarantee
+// quiescence and, before reusing the set, restore the live edges and
+// call ResetCounts — this is the building block of a pooled,
+// allocation-free Compact (see switching.Runner).
+func (s *EdgeSet) ClearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.buckets[i] = bucketEmpty
+	}
+}
+
+// ResetCounts zeroes the live and tombstone counters after ClearRange.
+func (s *EdgeSet) ResetCounts() {
+	atomic.StoreInt64(&s.size, 0)
+	atomic.StoreInt64(&s.tombstones, 0)
 }
 
 // Compact rebuilds the table from the authoritative edge list, dropping
@@ -266,8 +344,8 @@ func (s *EdgeSet) Compact(edges []graph.Edge, workers int) {
 			s.buckets[i] = bucketEmpty
 		}
 	})
-	s.size.Store(0)
-	s.tombstones.Store(0)
+	atomic.StoreInt64(&s.size, 0)
+	atomic.StoreInt64(&s.tombstones, 0)
 	s.BuildFrom(edges, workers)
 }
 

@@ -1,0 +1,279 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool is a persistent gang of worker goroutines parked on a
+// channel-based barrier, the replacement for spawn-per-call Run/Blocks
+// on hot paths: a kernel superstep issues ~6 parallel-for phases, and a
+// chain issues thousands of supersteps, so goroutine creation and
+// WaitGroup churn per phase dominates the barrier cost the paper's
+// analysis assumes to be cheap. The pool's workers 1..P-1 live as long
+// as the pool; the caller participates as worker 0, so a dispatch costs
+// one channel send per parked worker plus one receive for the
+// completion barrier, and nothing at all at P=1.
+//
+// Dispatch state (the task and its iteration space) is published via
+// plain fields before the wake-up sends; the channel operations order
+// them. Bodies passed to Run/Blocks/Chunked should be long-lived
+// function values (fields on the owning engine) — then a steady-state
+// dispatch performs zero heap allocations, which the kernel's
+// allocation-regression test asserts.
+//
+// Concurrency contract: a Pool serializes its dispatches. Calling Run,
+// Blocks, or Chunked from inside a body (nested use), or from two
+// goroutines at once, panics. Close releases the workers; it is
+// idempotent, and a finalizer releases them when a pool owner leaks
+// without closing, so parked goroutines never outlive the pool's
+// reachability.
+type Pool struct {
+	sh *poolShared
+}
+
+// poolShared is the worker-visible state. It is split from Pool so the
+// parked goroutines keep only poolShared alive: the outer Pool stays
+// collectable, letting its finalizer release the gang when the owner
+// forgets to Close.
+type poolShared struct {
+	workers int
+
+	// Dispatch state, written by the coordinator before the wake-up
+	// sends and read-only during a dispatch.
+	mode    int
+	body    func(worker int)
+	rangeFn func(worker, lo, hi int)
+	n       int
+	chunk   int
+
+	cursor  atomic.Int64 // chunked mode: next unclaimed index
+	start   []chan struct{}
+	done    chan struct{}
+	pending atomic.Int32
+	panicV  atomic.Pointer[poolPanic]
+	running atomic.Bool
+	closed  atomic.Bool
+}
+
+type poolPanic struct{ v any }
+
+const (
+	modeBody = iota
+	modeBlocks
+	modeChunked
+)
+
+// NewPool starts a gang of workers goroutines (worker ids 0..workers-1,
+// id 0 being the caller of each dispatch). workers < 1 is treated as 1;
+// a 1-worker pool spawns no goroutines and dispatches inline.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	sh := &poolShared{
+		workers: workers,
+		done:    make(chan struct{}),
+	}
+	sh.start = make([]chan struct{}, workers-1)
+	for i := range sh.start {
+		sh.start[i] = make(chan struct{}, 1)
+		go sh.parked(i + 1)
+	}
+	p := &Pool{sh: sh}
+	if workers > 1 {
+		runtime.SetFinalizer(p, func(p *Pool) { p.sh.release() })
+	}
+	return p
+}
+
+// Workers returns the gang size P.
+func (p *Pool) Workers() int { return p.sh.workers }
+
+// Close releases the worker goroutines. Idempotent; dispatching after
+// Close panics. Closing is optional (a finalizer releases leaked
+// pools), but deterministic release is good hygiene for engines that
+// create many pools.
+func (p *Pool) Close() {
+	if p.sh.running.Load() {
+		panic("conc: Pool.Close during dispatch")
+	}
+	p.sh.release()
+	runtime.SetFinalizer(p, nil)
+}
+
+func (sh *poolShared) release() {
+	if sh.closed.CompareAndSwap(false, true) {
+		for _, c := range sh.start {
+			close(c)
+		}
+	}
+}
+
+// parked is the worker loop: wait for a wake-up, run the current
+// dispatch, signal the barrier if last, park again.
+func (sh *poolShared) parked(w int) {
+	for range sh.start[w-1] {
+		sh.invoke(w)
+		if sh.pending.Add(-1) == 0 {
+			sh.done <- struct{}{}
+		}
+	}
+}
+
+// invoke runs the current dispatch as worker w, converting panics into
+// a recorded first-panic that the coordinator re-raises.
+func (sh *poolShared) invoke(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicV.CompareAndSwap(nil, &poolPanic{v: r})
+		}
+	}()
+	sh.dispatch(w)
+}
+
+func (sh *poolShared) dispatch(w int) {
+	switch sh.mode {
+	case modeBody:
+		sh.body(w)
+	case modeBlocks:
+		lo := sh.n * w / sh.workers
+		hi := sh.n * (w + 1) / sh.workers
+		if lo < hi {
+			sh.rangeFn(w, lo, hi)
+		}
+	case modeChunked:
+		for {
+			hi := int(sh.cursor.Add(int64(sh.chunk)))
+			lo := hi - sh.chunk
+			if lo >= sh.n {
+				return
+			}
+			if hi > sh.n {
+				hi = sh.n
+			}
+			sh.rangeFn(w, lo, hi)
+		}
+	}
+}
+
+// acquire takes the dispatch lock before any dispatch state is
+// written: nested or concurrent dispatches must be rejected without
+// touching fields the parked workers may be reading.
+func (sh *poolShared) acquire() {
+	if !sh.running.CompareAndSwap(false, true) {
+		panic("conc: nested or concurrent Pool dispatch")
+	}
+	if sh.closed.Load() {
+		sh.running.Store(false)
+		panic("conc: Pool dispatch after Close")
+	}
+}
+
+// gang wakes the parked workers, runs the dispatch as worker 0, waits
+// for the completion barrier, and re-raises the first recorded panic.
+// The caller holds the dispatch lock (acquire) and has published the
+// dispatch state.
+func (sh *poolShared) gang() {
+	sh.pending.Store(int32(sh.workers - 1))
+	for _, c := range sh.start {
+		c <- struct{}{}
+	}
+	sh.invoke(0)
+	<-sh.done
+	sh.body = nil
+	sh.rangeFn = nil
+	sh.running.Store(false)
+	if pv := sh.panicV.Swap(nil); pv != nil {
+		panic(pv.v)
+	}
+}
+
+// solo runs a dispatch inline on a 1-worker pool (or a small-n
+// fast path). The caller holds the dispatch lock (acquire) and has
+// published the dispatch state.
+func (sh *poolShared) solo() {
+	defer func() {
+		sh.body = nil
+		sh.rangeFn = nil
+		sh.running.Store(false)
+	}()
+	sh.dispatch(0)
+}
+
+// Run executes body once per worker id 0..P-1, in parallel, and waits
+// for all of them — the pooled equivalent of package-level Run.
+func (p *Pool) Run(body func(worker int)) {
+	// Pin p: its finalizer must not release the gang mid-dispatch once
+	// the method body no longer references p itself.
+	defer runtime.KeepAlive(p)
+	sh := p.sh
+	sh.acquire()
+	sh.mode = modeBody
+	sh.body = body
+	if sh.workers == 1 {
+		sh.solo()
+		return
+	}
+	sh.gang()
+}
+
+// serialCutoff is the iteration count below which Blocks and Chunked
+// run inline on the calling goroutine: waking the gang costs ~µs, which
+// dwarfs a handful of items (the typical re-examination rounds of the
+// superstep kernel decide only a few delayed switches).
+const serialCutoff = 32
+
+// Blocks partitions [0, n) into at most P contiguous blocks differing
+// in size by at most one and runs fn on each block in parallel. Workers
+// whose block is empty are still woken but skip the call.
+func (p *Pool) Blocks(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	defer runtime.KeepAlive(p) // see Run
+	sh := p.sh
+	sh.acquire()
+	sh.mode = modeBlocks
+	sh.rangeFn = fn
+	sh.n = n
+	if sh.workers == 1 || n <= serialCutoff {
+		sh.mode = modeChunked // single full-range call below
+		sh.chunk = n
+		sh.cursor.Store(0)
+		sh.solo()
+		return
+	}
+	sh.gang()
+}
+
+// Chunked runs fn over [0, n) in chunks claimed from an atomic cursor:
+// workers grab the next chunk-sized range until the space is exhausted.
+// Use it when per-item cost is skewed (the decide rounds, where delayed
+// switches cluster) and static blocks would imbalance the gang.
+// chunk <= 0 selects a size that gives each worker ~8 claims.
+func (p *Pool) Chunked(n, chunk int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	defer runtime.KeepAlive(p) // see Run
+	sh := p.sh
+	sh.acquire()
+	if chunk <= 0 {
+		chunk = n / (8 * sh.workers)
+		if chunk < serialCutoff {
+			chunk = serialCutoff
+		}
+	}
+	sh.mode = modeChunked
+	sh.rangeFn = fn
+	sh.n = n
+	sh.chunk = chunk
+	sh.cursor.Store(0)
+	if sh.workers == 1 || n <= serialCutoff {
+		sh.chunk = n
+		sh.solo()
+		return
+	}
+	sh.gang()
+}

@@ -1,0 +1,137 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunCoversAllWorkers(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		pool := NewPool(p)
+		counts := make([]atomic.Int32, p)
+		for rep := 0; rep < 3; rep++ { // reuse across dispatches
+			pool.Run(func(w int) { counts[w].Add(1) })
+		}
+		for w := range counts {
+			if got := counts[w].Load(); got != 3 {
+				t.Fatalf("P=%d: worker %d ran %d times, want 3", p, w, got)
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolBlocksPartition(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		pool := NewPool(p)
+		for _, n := range []int{0, 1, 5, 31, 32, 33, 1000} {
+			hits := make([]atomic.Int32, n+1)
+			pool.Blocks(n, func(w, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("P=%d n=%d: empty range dispatched [%d,%d)", p, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if hits[i].Load() != 1 {
+					t.Fatalf("P=%d n=%d: index %d covered %d times", p, n, i, hits[i].Load())
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolChunkedCoversAll(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		pool := NewPool(p)
+		const n = 10000
+		hits := make([]atomic.Int32, n)
+		// Skewed per-item work: chunk claiming must still cover every
+		// index exactly once.
+		pool.Chunked(n, 64, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i%997 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("P=%d: index %d covered %d times", p, i, hits[i].Load())
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolPanicPropagation(t *testing.T) {
+	for _, culprit := range []int{0, 2} { // coordinator and parked worker
+		pool := NewPool(4)
+		expectPanic(t, "worker panic", func() {
+			pool.Run(func(w int) {
+				if w == culprit {
+					panic("boom")
+				}
+			})
+		})
+		// The pool must stay usable after a propagated panic.
+		var ran atomic.Int32
+		pool.Run(func(int) { ran.Add(1) })
+		if ran.Load() != 4 {
+			t.Fatalf("culprit=%d: pool broken after panic: %d workers ran", culprit, ran.Load())
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolNestedDispatchPanics(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		pool := NewPool(p)
+		expectPanic(t, "nested dispatch", func() {
+			pool.Run(func(w int) {
+				if w == 0 {
+					pool.Blocks(8, func(int, int, int) {})
+				}
+			})
+		})
+		pool.Close()
+	}
+}
+
+func TestPoolDispatchAfterClosePanics(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // idempotent
+	expectPanic(t, "dispatch after Close", func() {
+		pool.Run(func(int) {})
+	})
+}
+
+// TestPoolReleaseEndsWorkers asserts Close actually parks the gang for
+// good: creating and closing many pools must not accumulate goroutines
+// (the reuse-across-engines lifecycle).
+func TestPoolReleaseEndsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		pool := NewPool(4)
+		pool.Run(func(int) {})
+		pool.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

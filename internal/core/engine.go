@@ -70,6 +70,20 @@ func NewEngine(g *graph.Graph, alg Algorithm, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// releaser is implemented by steppers that own a persistent worker
+// gang (parallel chains); Close parks the gang deterministically.
+type releaser interface{ release() }
+
+// Close releases the engine's persistent worker gang, if the selected
+// algorithm owns one. The engine must not be used afterwards. Closing
+// is optional — leaked gangs are reclaimed by a finalizer — but
+// deterministic for callers that create many engines.
+func (e *Engine) Close() {
+	if r, ok := e.st.(releaser); ok {
+		r.release()
+	}
+}
+
 // Algorithm returns the algorithm the engine runs.
 func (e *Engine) Algorithm() Algorithm { return e.alg }
 

@@ -16,12 +16,14 @@ import (
 // implement ES-MC (the paper makes the same caveat); it exists as the
 // performance baseline of Table 4.
 type naiveStepper struct {
-	g     *graph.Graph
-	m, w  int
-	E     []uint64 // edge array with atomic element access (racy reads by design)
-	set   *conc.EdgeSet
-	seeds []uint64
-	idx   int // supersteps performed so far (feeds the stream mixer)
+	g      *graph.Graph
+	m, w   int
+	E      []uint64 // edge array with atomic element access (racy reads by design)
+	set    *conc.EdgeSet
+	seeds  []uint64
+	idx    int // supersteps performed so far (feeds the stream mixer)
+	pool   *conc.Pool
+	legals []int64
 }
 
 func newNaiveStepper(g *graph.Graph, cfg Config) stepper {
@@ -38,15 +40,17 @@ func newNaiveStepper(g *graph.Graph, cfg Config) stepper {
 	set.BuildFrom(g.Edges(), w)
 	return &naiveStepper{
 		g: g, m: m, w: w, E: E, set: set,
-		seeds: rng.PerWorkerSeeds(cfg.Seed, w),
+		seeds:  rng.PerWorkerSeeds(cfg.Seed, w),
+		pool:   conc.NewPool(w),
+		legals: make([]int64, w),
 	}
 }
 
 func (s *naiveStepper) step(stats *RunStats) {
 	perStep := int64(s.m / 2)
-	legals := make([]int64, s.w)
+	legals := s.legals
 	step := s.idx
-	conc.Run(s.w, func(worker int) {
+	s.pool.Run(func(worker int) {
 		// Decorrelate the (worker, step) streams through the full
 		// mixer: a plain additive stride equal to SplitMix64's
 		// gamma would make consecutive supersteps replay nearly
@@ -63,8 +67,9 @@ func (s *naiveStepper) step(stats *RunStats) {
 		}
 		legals[worker] = legal
 	})
-	for _, l := range legals {
+	for i, l := range legals {
 		stats.Legal += l
+		legals[i] = 0
 	}
 	stats.Attempted += perStep
 	s.idx++
@@ -77,6 +82,8 @@ func (s *naiveStepper) step(stats *RunStats) {
 		s.set.Compact(edges, s.w)
 	}
 }
+
+func (s *naiveStepper) release() { s.pool.Close() }
 
 // finish writes the edge array back to the graph's edge list; the array
 // remains the source of truth between increments.

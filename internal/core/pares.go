@@ -8,64 +8,117 @@ import (
 	"gesmc/internal/rng"
 )
 
-// FindCollisionFreePrefix returns the length t of the longest prefix of
-// switches such that no edge index occurs twice within switches[0:t]
-// — the superstep boundary search of Algorithm 2 (lines 8-15). The
-// returned prefix always contains at least one switch (a switch's own
-// two indices are distinct by construction).
-//
-// The scan parallelizes with a concurrent min-index table: every switch
+// prefixFinder locates the longest collision-free prefix of a switch
+// window (Algorithm 2, lines 8-15) on a persistent worker gang. The
+// scan parallelizes with a concurrent min-index table: every switch
 // publishes (index -> k) with CAS-min; the boundary is the smallest k
-// whose indices were first published by a smaller switch.
-func FindCollisionFreePrefix(switches []Switch, workers int, minIdx []int32) int {
+// whose indices were first published by a smaller switch. The phase
+// bodies are created once, so steady-state searches allocate nothing.
+type prefixFinder struct {
+	pool     *conc.Pool
+	minIdx   []int32 // edge index -> smallest switch position, -1 if none
+	results  []int32 // per-worker boundary candidates
+	switches []Switch
+
+	publishFn func(worker, lo, hi int)
+	scanFn    func(worker, lo, hi int)
+}
+
+// newPrefixFinder prepares a finder over a graph with m edge indices,
+// dispatching on the given gang (typically the runner's, so one gang
+// serves the whole engine).
+func newPrefixFinder(pool *conc.Pool, m int) *prefixFinder {
+	minIdx := make([]int32, m)
+	for i := range minIdx {
+		minIdx[i] = -1
+	}
+	return newPrefixFinderWith(pool, minIdx)
+}
+
+// newPrefixFinderWith wires a finder over a caller-provided min-index
+// table, which must be -1-initialized (one slot per edge index).
+func newPrefixFinderWith(pool *conc.Pool, minIdx []int32) *prefixFinder {
+	f := &prefixFinder{
+		pool:    pool,
+		minIdx:  minIdx,
+		results: make([]int32, pool.Workers()),
+	}
+	f.publishFn = f.publish
+	f.scanFn = f.scan
+	return f
+}
+
+func casMin(slot *int32, k int32) {
+	for {
+		old := atomic.LoadInt32(slot)
+		if old != -1 && old <= k {
+			return
+		}
+		if atomic.CompareAndSwapInt32(slot, old, k) {
+			return
+		}
+	}
+}
+
+func (f *prefixFinder) publish(_, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		casMin(&f.minIdx[f.switches[k].I], int32(k))
+		casMin(&f.minIdx[f.switches[k].J], int32(k))
+	}
+}
+
+func (f *prefixFinder) scan(worker, lo, hi int) {
+	best := f.results[worker]
+	for k := lo; k < hi; k++ {
+		if int32(k) >= best {
+			break
+		}
+		if atomic.LoadInt32(&f.minIdx[f.switches[k].I]) < int32(k) ||
+			atomic.LoadInt32(&f.minIdx[f.switches[k].J]) < int32(k) {
+			best = int32(k)
+			break
+		}
+	}
+	f.results[worker] = best
+}
+
+// find returns the length t of the longest prefix of switches such
+// that no edge index occurs twice within switches[0:t]. The returned
+// prefix always contains at least one switch (a switch's own two
+// indices are distinct by construction). It resets the min-index slots
+// it used, so the table is clean for the next window.
+func (f *prefixFinder) find(switches []Switch) int {
 	n := len(switches)
-	if n <= 1 {
-		return n
-	}
-	// minIdx[i] = smallest switch position using edge index i, or -1.
-	casMin := func(slot *int32, k int32) {
-		for {
-			old := atomic.LoadInt32(slot)
-			if old != -1 && old <= k {
-				return
-			}
-			if atomic.CompareAndSwapInt32(slot, old, k) {
-				return
-			}
+	t := n
+	if n > 1 {
+		f.switches = switches
+		f.pool.Blocks(n, f.publishFn)
+		for i := range f.results {
+			f.results[i] = int32(n) // workers without a block contribute "no collision"
 		}
-	}
-	conc.Blocks(n, workers, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			casMin(&minIdx[switches[k].I], int32(k))
-			casMin(&minIdx[switches[k].J], int32(k))
-		}
-	})
-	// t = min k such that one of σ_k's indices was claimed by k' < k.
-	results := make([]int32, workers)
-	for i := range results {
-		results[i] = int32(n) // workers without a block contribute "no collision"
-	}
-	conc.Blocks(n, workers, func(w, lo, hi int) {
-		best := int32(n)
-		for k := lo; k < hi; k++ {
-			if int32(k) >= best {
-				break
-			}
-			if atomic.LoadInt32(&minIdx[switches[k].I]) < int32(k) ||
-				atomic.LoadInt32(&minIdx[switches[k].J]) < int32(k) {
-				best = int32(k)
-				break
+		f.pool.Blocks(n, f.scanFn)
+		f.switches = nil
+		for _, b := range f.results {
+			if int(b) < t {
+				t = int(b)
 			}
 		}
-		results[w] = best
-	})
-	t := int32(n)
-	for _, b := range results {
-		if b < t {
-			t = b
-		}
 	}
-	return int(t)
+	for _, sw := range switches {
+		f.minIdx[sw.I] = -1
+		f.minIdx[sw.J] = -1
+	}
+	return t
+}
+
+// FindCollisionFreePrefix is the one-shot form of prefixFinder over a
+// transient gang, kept for tests and external callers. minIdx must
+// have one -1-initialized slot per edge index; it is restored to all
+// -1 before returning.
+func FindCollisionFreePrefix(switches []Switch, workers int, minIdx []int32) int {
+	pool := conc.NewPool(workers)
+	defer pool.Close()
+	return newPrefixFinderWith(pool, minIdx).find(switches)
 }
 
 // parESStepper is the production ParES (Algorithm 2): pre-sample the
@@ -75,13 +128,14 @@ func FindCollisionFreePrefix(switches []Switch, workers int, minIdx []int32) int
 // boundary so the graph is always in the state after a whole number of
 // supersteps; the decided edge list is identical to continuous
 // execution because every prefix realizes sequential semantics over the
-// same switch sequence.
+// same switch sequence. The prefix search shares the runner's worker
+// gang, so the whole chain runs on one set of long-lived goroutines.
 type parESStepper struct {
 	m, w    int
 	src     rng.Source
 	runner  *SuperstepRunner
+	finder  *prefixFinder
 	pending []Switch
-	minIdx  []int32
 	window  int
 	snap    runnerSnap
 }
@@ -101,16 +155,13 @@ func newParESStepper(g *graph.Graph, cfg Config) stepper {
 	}
 	runner := NewSuperstepRunner(g.Edges(), window, w)
 	runner.Pessimistic = cfg.PessimisticRounds
-	minIdx := make([]int32, m)
-	for i := range minIdx {
-		minIdx[i] = -1
-	}
+	runner.Prefetch = cfg.Prefetch
 	return &parESStepper{
 		m: m, w: w,
 		src:     rng.NewMT19937(cfg.Seed),
 		runner:  runner,
+		finder:  newPrefixFinder(runner.Pool(), m),
 		pending: make([]Switch, 0, window),
-		minIdx:  minIdx,
 		window:  window,
 	}
 }
@@ -124,11 +175,7 @@ func (s *parESStepper) step(stats *RunStats) {
 			s.pending = append(s.pending, Switch{I: uint32(i), J: uint32(j), G: rng.Bool(s.src)})
 			toSample--
 		}
-		t := FindCollisionFreePrefix(s.pending, s.w, s.minIdx)
-		for _, sw := range s.pending {
-			s.minIdx[sw.I] = -1
-			s.minIdx[sw.J] = -1
-		}
+		t := s.finder.find(s.pending)
 		s.runner.Run(s.pending[:t])
 		stats.Attempted += int64(t)
 		s.pending = s.pending[:copy(s.pending, s.pending[t:])]
@@ -137,6 +184,8 @@ func (s *parESStepper) step(stats *RunStats) {
 }
 
 func (s *parESStepper) finish() {}
+
+func (s *parESStepper) release() { s.runner.Release() }
 
 func isqrt(n int) int {
 	if n <= 0 {

@@ -36,6 +36,7 @@ func newParGlobalStepper(g *graph.Graph, cfg Config) stepper {
 	w := cfg.workers()
 	runner := NewSuperstepRunner(g.Edges(), m/2, w)
 	runner.Pessimistic = cfg.PessimisticRounds
+	runner.Prefetch = cfg.Prefetch
 	return &parGlobalStepper{
 		m: m, w: w,
 		src:     rng.NewMT19937(cfg.Seed),
@@ -55,3 +56,5 @@ func (s *parGlobalStepper) step(stats *RunStats) {
 }
 
 func (s *parGlobalStepper) finish() {}
+
+func (s *parGlobalStepper) release() { s.runner.Release() }

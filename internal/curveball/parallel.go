@@ -80,6 +80,12 @@ type Engine struct {
 	set  *conc.EdgeSet
 	rank []int32
 
+	// Prefetch enables the §5.4 pre-touch pipeline in the trade pool
+	// collection: the disjointness-test bucket of a neighbor a few
+	// slots ahead is touched before it is probed. Results are
+	// bit-identical with the pipeline on or off.
+	Prefetch bool
+
 	drv     switching.RoundDriver
 	src     rng.Source      // pairing permutations and local pair draws
 	seedSrc *rng.SplitMix64 // per-batch trade-seed bases
@@ -88,6 +94,16 @@ type Engine struct {
 	pairs   [][2]uint32 // batch buffer
 	scratch []graph.Edge
 	used    []bool
+
+	// Per-batch dispatch state and the persistent bodies reading it,
+	// created once so batches allocate nothing in steady state.
+	curPairs    [][2]uint32
+	curSeed     uint64
+	rankSetFn   func(worker, lo, hi int)
+	rankClearFn func(worker, lo, hi int)
+	clearFn     func(worker, lo, hi int)
+	rebuildFn   func(worker, lo, hi int)
+	tradeFn     switching.Decide
 
 	// Attempted counts trades performed (trades are never rejected, so
 	// it equals the kernel's Legal counter).
@@ -130,9 +146,38 @@ func NewEngine(g *graph.Graph, workers int, seed uint64) *Engine {
 		e.rank[i] = unranked
 	}
 	e.drv.Init(workers)
+	// A 1-worker gang drives the disjointness set from one goroutine:
+	// drop the CAS/counter read-modify-writes for plain stores.
+	e.set.SetSequential(e.drv.Workers() == 1)
 	e.sc = make([]tradeScratch, e.drv.Workers())
+	e.rankSetFn = func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			e.rank[e.curPairs[k][0]] = int32(k)
+			e.rank[e.curPairs[k][1]] = int32(k)
+		}
+	}
+	e.rankClearFn = func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			e.rank[e.curPairs[k][0]] = unranked
+			e.rank[e.curPairs[k][1]] = unranked
+		}
+	}
+	e.clearFn = func(_, lo, hi int) { e.set.ClearRange(lo, hi) }
+	e.rebuildFn = func(_, lo, hi int) {
+		for _, ed := range e.scratch[lo:hi] {
+			e.set.InsertUnique(ed)
+		}
+	}
+	e.tradeFn = func(worker int, k int32) uint32 {
+		e.trade(worker, e.curPairs[k][0], e.curPairs[k][1], k, e.curSeed)
+		return conc.StatusLegal
+	}
 	return e
 }
+
+// Close releases the engine's persistent worker gang. The engine must
+// not be used afterwards.
+func (e *Engine) Close() { e.drv.Release() }
 
 // Stats returns the kernel counters accumulated over the engine's
 // lifetime (Legal counts trades performed).
@@ -198,31 +243,24 @@ func (e *Engine) TradeBatch(pairs [][2]uint32, stepSeed uint64) {
 	if nt == 0 {
 		return
 	}
-	w := e.drv.Workers()
-	conc.Blocks(nt, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			e.rank[pairs[k][0]] = int32(k)
-			e.rank[pairs[k][1]] = int32(k)
-		}
-	})
-	e.drv.Run(nt, func(worker int, k int32) uint32 {
-		e.trade(worker, pairs[k][0], pairs[k][1], k, stepSeed)
-		return conc.StatusLegal
-	}, nil)
-	conc.Blocks(nt, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			e.rank[pairs[k][0]] = unranked
-			e.rank[pairs[k][1]] = unranked
-		}
-	})
+	pool := e.drv.Pool()
+	e.curPairs, e.curSeed = pairs, stepSeed
+	pool.Blocks(nt, e.rankSetFn)
+	e.drv.Run(nt, e.tradeFn, nil)
+	pool.Blocks(nt, e.rankClearFn)
+	e.curPairs = nil
 	e.Attempted += int64(nt)
 
 	if e.set.NeedsCompact() {
-		if cap(e.scratch) < len(e.slot)/2 {
-			e.scratch = make([]graph.Edge, len(e.slot)/2)
+		m := len(e.slot) / 2
+		if cap(e.scratch) < m {
+			e.scratch = make([]graph.Edge, m)
 		}
-		e.WriteEdges(e.scratch[:len(e.slot)/2])
-		e.set.Compact(e.scratch[:len(e.slot)/2], w)
+		e.scratch = e.scratch[:m]
+		e.WriteEdges(e.scratch)
+		pool.Blocks(e.set.Buckets(), e.clearFn)
+		e.set.ResetCounts()
+		pool.Blocks(m, e.rebuildFn)
 	}
 }
 
@@ -237,7 +275,16 @@ func (e *Engine) trade(worker int, u, v uint32, k int32, stepSeed uint64) {
 	sc := &e.sc[worker]
 	pool := sc.pool[:0]
 	tgt := sc.tgt[:0]
+	// tradeTouchDist is the trade-loop pre-touch distance: the
+	// disjointness-test bucket of the neighbor a few slots ahead is
+	// pulled in before the Contains that probes it (§5.4).
+	const tradeTouchDist = int32(4)
+	pf := e.Prefetch
 	for i := e.offs[u]; i < e.offs[u+1]; i++ {
+		if pf && i+tradeTouchDist < e.offs[u+1] {
+			ahead := atomic.LoadUint64(&e.slot[i+tradeTouchDist])
+			e.set.Touch(graph.MakeEdge(v, uint32(ahead>>32)))
+		}
 		s := atomic.LoadUint64(&e.slot[i])
 		w := uint32(s >> 32)
 		if e.rank[w] <= k {
@@ -251,6 +298,10 @@ func (e *Engine) trade(worker int, u, v uint32, k int32, stepSeed uint64) {
 	}
 	nu := len(pool)
 	for i := e.offs[v]; i < e.offs[v+1]; i++ {
+		if pf && i+tradeTouchDist < e.offs[v+1] {
+			ahead := atomic.LoadUint64(&e.slot[i+tradeTouchDist])
+			e.set.Touch(graph.MakeEdge(u, uint32(ahead>>32)))
+		}
 		s := atomic.LoadUint64(&e.slot[i])
 		w := uint32(s >> 32)
 		if e.rank[w] <= k {
@@ -269,7 +320,7 @@ func (e *Engine) trade(worker int, u, v uint32, k int32, stepSeed uint64) {
 	}
 	src := rng.NewSplitMix64(tradeSeed(stepSeed, k))
 	for i := len(pool) - 1; i > 0; i-- {
-		j := rng.IntN(src, i+1)
+		j := src.IntN(i + 1) // concrete call: src stays on this stack
 		pool[i], pool[j] = pool[j], pool[i]
 	}
 	for i, s := range pool {
@@ -404,7 +455,7 @@ func (r *Reference) trade(u, v uint32, k int32, stepSeed uint64) {
 	copy(slots, pool)
 	src := rng.NewSplitMix64(tradeSeed(stepSeed, k))
 	for i := len(pool) - 1; i > 0; i-- {
-		j := rng.IntN(src, i+1)
+		j := src.IntN(i + 1)
 		pool[i], pool[j] = pool[j], pool[i]
 	}
 	for i, c := range pool {

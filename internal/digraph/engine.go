@@ -35,6 +35,11 @@ type Config struct {
 	Seed uint64
 	// LoopProb is P_L of G-ES-MC; zero selects the default 1e-6.
 	LoopProb float64
+	// Prefetch enables the §5.4 pre-touch pipeline inside the parallel
+	// superstep kernel (AlgParGlobalES only; the sequential chains use
+	// map-backed sets with no probe chains to pre-touch). Results are
+	// bit-identical with the pipeline on or off.
+	Prefetch bool
 	// PessimisticRounds makes the parallel superstep publish decisions
 	// only at round barriers, simulating the worst-case scheduler
 	// analyzed in Theorems 2-3 (the directed mirror of core's flag,
@@ -94,6 +99,7 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 		}
 		runner := NewSuperstepRunner(g.Arcs(), g.M()/2, w)
 		runner.Pessimistic = cfg.PessimisticRounds
+		runner.Prefetch = cfg.Prefetch
 		st = &dirParGlobalStepper{
 			m: g.M(), w: w,
 			src:     rng.NewMT19937(cfg.Seed),
@@ -105,6 +111,18 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 		return nil, ErrUnknownAlgorithm
 	}
 	return &Engine{alg: alg, st: st}, nil
+}
+
+// releaser is implemented by steppers that own a persistent worker
+// gang (the parallel chain).
+type releaser interface{ release() }
+
+// Close releases the engine's persistent worker gang, if the selected
+// algorithm owns one. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if r, ok := e.st.(releaser); ok {
+		r.release()
+	}
 }
 
 // Algorithm returns the algorithm the engine runs.
@@ -199,6 +217,8 @@ type dirParGlobalStepper struct {
 	pl      float64
 	prev    switching.Stats
 }
+
+func (s *dirParGlobalStepper) release() { s.runner.Release() }
 
 func (s *dirParGlobalStepper) step(stats *RunStats) {
 	perm := rng.ParallelPerm(s.seedSrc.Uint64(), s.m, s.w)

@@ -1,5 +1,7 @@
 package rng
 
+import "math/bits"
+
 // SplitMix64 is Steele, Lea & Vigna's splittable generator. It is used to
 // derive independent per-worker streams from a master seed and as a cheap
 // high-quality generator where the full Mersenne Twister state would be
@@ -26,6 +28,27 @@ func (s *SplitMix64) Uint64() uint64 {
 // of the receiver's future output.
 func (s *SplitMix64) Split() *SplitMix64 {
 	return &SplitMix64{state: s.Uint64()}
+}
+
+// IntN returns a uniformly distributed int in [0, n), consuming the
+// stream exactly like the interface-based rng.IntN (same Lemire
+// rejection pattern, so results are bit-identical). The concrete method
+// exists for hot loops that create one generator per item: without the
+// Source interface conversion the generator stays on the caller's
+// stack instead of escaping to the heap.
+func (s *SplitMix64) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with n <= 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Mix64 applies the SplitMix64 finalizer to x. It is a strong 64-bit

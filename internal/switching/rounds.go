@@ -60,13 +60,32 @@ type Decide func(worker int, k int32) uint32
 // never consult each other's statuses pass nil.
 type Publish func(k int32, st uint32)
 
+// PreTouch is a cache pre-touch hook invoked preTouchDist items ahead
+// of the decide cursor — the §5.4 software-prefetch pipeline of the
+// decide rounds. It must be a pure memory hint (loads only).
+type PreTouch func(worker int, k int32)
+
+// preTouchDist is the pipeline distance of the decide-round pre-touch:
+// far enough ahead to cover a memory round-trip, near enough that the
+// touched lines survive until use.
+const preTouchDist = 8
+
 // RoundDriver executes the round loop of Algorithm 1 (phase 2, lines
 // 7-35) for any decision kind: items start undecided, each round
 // attempts every still-undecided item in parallel, and items that
 // depend on a same-batch decision not yet published delay to the next
-// round. The driver owns the scratch state reused across supersteps.
+// round. The driver owns the persistent worker gang (a conc.Pool shared
+// with the embedding runner's other phases) and the scratch state
+// reused across supersteps; steady-state supersteps perform no heap
+// allocations.
+//
+// Rounds dispatch through the pool's atomic-cursor chunked mode rather
+// than static blocks: delayed switches cluster (they share contested
+// edges), so fixed per-worker blocks of the undecided list can be
+// heavily skewed in re-examination rounds.
 type RoundDriver struct {
 	workers int
+	pool    *conc.Pool
 
 	// Pessimistic simulates the worst-case scheduler of Theorems 2-3:
 	// status publications become visible only at round barriers, so
@@ -75,6 +94,17 @@ type RoundDriver struct {
 	// (expected <= 4*Delta^2/m, O(1) for regular graphs). Decisions are
 	// identical either way; only the round structure differs.
 	Pessimistic bool
+
+	// PreTouch, when non-nil, is invoked preTouchDist items ahead of
+	// the decide cursor within each chunk. Owners set it per superstep
+	// (the kernel enables it under its Prefetch flag).
+	PreTouch PreTouch
+
+	// Per-round dispatch state read by roundBody.
+	cur     []int32
+	decide  Decide
+	publish Publish
+	roundFn func(worker, lo, hi int)
 
 	undecided []int32
 	delayed   [][]int32
@@ -85,31 +115,84 @@ type RoundDriver struct {
 	Stats
 }
 
-// Init prepares the driver for the given parallelism degree. It must be
-// called once before Run; workers < 1 is treated as 1.
+// Init prepares the driver for the given parallelism degree, creating
+// the persistent worker gang. It must be called once before Run;
+// workers < 1 is treated as 1. Release the gang with Release when the
+// owning engine is closed (leaked drivers are reclaimed by the pool's
+// finalizer).
 func (d *RoundDriver) Init(workers int) {
 	if workers < 1 {
 		workers = 1
 	}
 	d.workers = workers
+	d.pool = conc.NewPool(workers)
 	d.delayed = make([][]int32, workers)
 	d.deferred = make([][]decision, workers)
 	d.legalTot = make([]paddedCounter, workers)
+	d.roundFn = d.roundBody
 }
 
 // Workers returns the parallelism degree the driver was initialized
 // with.
 func (d *RoundDriver) Workers() int { return d.workers }
 
+// Pool returns the persistent worker gang, so the embedding engine can
+// run its other phases (tuple registration, apply, compaction) on the
+// same long-lived goroutines.
+func (d *RoundDriver) Pool() *conc.Pool { return d.pool }
+
+// Release closes the worker gang. The driver must not be used
+// afterwards. Idempotent.
+func (d *RoundDriver) Release() {
+	if d.pool != nil {
+		d.pool.Close()
+	}
+}
+
+// roundBody decides one claimed chunk of the current undecided list.
+// It is created once (Init) and re-dispatched every round, so rounds
+// allocate nothing.
+func (d *RoundDriver) roundBody(worker, lo, hi int) {
+	cur := d.cur
+	touch := d.PreTouch
+	var legal int64
+	for i := lo; i < hi; i++ {
+		if touch != nil && i+preTouchDist < hi {
+			touch(worker, cur[i+preTouchDist])
+		}
+		k := cur[i]
+		st := d.decide(worker, k)
+		switch st {
+		case conc.StatusLegal:
+			legal++
+		case conc.StatusUndecided:
+			d.delayed[worker] = append(d.delayed[worker], k)
+		}
+		if st != conc.StatusUndecided && d.publish != nil {
+			if d.Pessimistic {
+				// Defer visibility to the round barrier: the
+				// worst-case scheduler of the analysis.
+				d.deferred[worker] = append(d.deferred[worker], decision{k: k, st: st})
+			} else {
+				d.publish(k, st)
+			}
+		}
+	}
+	d.legalTot[worker].v += legal
+}
+
 // Run decides one superstep of n items through the round loop. decide
 // is invoked at most once per item and round; publish (if non-nil)
 // makes non-delayed decisions visible — immediately under the natural
-// scheduler, at the round barrier under the pessimistic one.
+// scheduler, at the round barrier under the pessimistic one. Pass
+// long-lived function values (fields of the owning engine) to keep
+// supersteps allocation-free.
 func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
 	if n == 0 {
 		return
 	}
-	w := d.workers
+	d.decide = decide
+	d.publish = publish
 	undecided := d.undecided[:0]
 	for k := 0; k < n; k++ {
 		undecided = append(undecided, int32(k))
@@ -122,28 +205,8 @@ func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
 			d.delayed[i] = d.delayed[i][:0]
 			d.deferred[i] = d.deferred[i][:0]
 		}
-		conc.Blocks(len(undecided), w, func(worker, lo, hi int) {
-			var legal int64
-			for _, k := range undecided[lo:hi] {
-				st := decide(worker, k)
-				switch st {
-				case conc.StatusLegal:
-					legal++
-				case conc.StatusUndecided:
-					d.delayed[worker] = append(d.delayed[worker], k)
-				}
-				if st != conc.StatusUndecided && publish != nil {
-					if d.Pessimistic {
-						// Defer visibility to the round barrier: the
-						// worst-case scheduler of the analysis.
-						d.deferred[worker] = append(d.deferred[worker], decision{k: k, st: st})
-					} else {
-						publish(k, st)
-					}
-				}
-			}
-			d.legalTot[worker].v += legal
-		})
+		d.cur = undecided
+		d.pool.Chunked(len(undecided), 0, d.roundFn)
 		if d.Pessimistic && publish != nil {
 			for _, ds := range d.deferred {
 				for _, dec := range ds {
@@ -162,6 +225,9 @@ func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
 		}
 	}
 	d.undecided = undecided
+	d.cur = nil
+	d.decide = nil
+	d.publish = nil
 
 	for i := range d.legalTot {
 		d.Legal += d.legalTot[i].v

@@ -5,6 +5,13 @@ import (
 	"gesmc/internal/graph"
 )
 
+// pipelineDepth is the batch size of the §5.4-style software pipeline
+// in the register and apply phases: hash buckets of the next switches
+// are touched ahead of the operations that probe them. Touching is only
+// a memory hint — staleness cannot affect correctness, exactly as with
+// hardware prefetches.
+const pipelineDepth = 8
+
 // Runner executes supersteps of source-independent switches in parallel
 // (Algorithm 1, ParallelSuperstep), generically over the edge encoding:
 // Runner[graph.Edge] is the paper's undirected kernel, Runner[digraph.Arc]
@@ -12,7 +19,10 @@ import (
 // dependency table, both reused across supersteps; the round loop,
 // pessimistic scheduler, and padded counters come from the embedded
 // RoundDriver, so every instantiation gets identical scheduling and
-// observability.
+// observability. All phases dispatch on the driver's persistent worker
+// gang through function values created once at construction, so a
+// steady-state superstep performs zero heap allocations (asserted by
+// the allocation-regression test).
 //
 // Semantics refinement over the printed pseudocode (see DESIGN.md §2):
 // a switch whose target coincides with one of its own source edges is
@@ -28,26 +38,59 @@ type Runner[E EdgeKind[E]] struct {
 	E   []E
 	Set *conc.EdgeSet
 
-	table   *conc.DepTable
-	scratch []graph.Edge // compaction buffer, lazily allocated
+	// Prefetch enables the §5.4 pre-touch pipeline in every phase:
+	// batched bucket touches ahead of the phase-1 tuple stores and the
+	// phase-3 applies, and the round driver's decide-cursor pre-touch.
+	// Results are bit-identical with the pipeline on or off.
+	Prefetch bool
+
+	table    *conc.DepTable
+	scratch  []graph.Edge
+	switches []Switch
+
+	// Phase bodies and driver hooks, created once so supersteps
+	// allocate nothing.
+	phase1Fn   func(worker, lo, hi int)
+	eraseFn    func(worker, lo, hi int)
+	insertFn   func(worker, lo, hi int)
+	snapshotFn func(worker, lo, hi int)
+	clearFn    func(worker, lo, hi int)
+	rebuildFn  func(worker, lo, hi int)
+	decideFn   Decide
+	publishFn  Publish
+	preTouchFn PreTouch
 }
 
 // NewRunner prepares a runner for edge list E, supporting supersteps of
 // up to maxSwitches switches. The edge set is built in parallel with
-// workers goroutines.
+// workers goroutines (the persistent gang owned by the embedded
+// driver). Call Release when done with the runner to park the gang.
 func NewRunner[E EdgeKind[E]](edges []E, maxSwitches, workers int) *Runner[E] {
-	set := conc.NewEdgeSet(len(edges) * 2)
-	conc.Blocks(len(edges), workers, func(_, lo, hi int) {
-		for _, e := range edges[lo:hi] {
-			set.InsertUnique(graph.Edge(e))
-		}
-	})
 	r := &Runner[E]{
 		E:     edges,
-		Set:   set,
+		Set:   conc.NewEdgeSet(len(edges) * 2),
 		table: conc.NewDepTable(maxSwitches),
 	}
 	r.RoundDriver.Init(workers)
+	// A 1-worker gang drives the table and set from a single goroutine:
+	// drop the CAS/XCHG write paths for plain stores.
+	seq := r.Workers() == 1
+	r.table.SetSequential(seq)
+	r.Set.SetSequential(seq)
+	r.pool.Blocks(len(edges), func(_, lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			r.Set.InsertUnique(graph.Edge(e))
+		}
+	})
+	r.phase1Fn = r.phase1
+	r.eraseFn = r.phase3Erase
+	r.insertFn = r.phase3Insert
+	r.snapshotFn = r.compactSnapshot
+	r.clearFn = r.compactClear
+	r.rebuildFn = r.compactRebuild
+	r.decideFn = r.decideItem
+	r.publishFn = r.publishItem
+	r.preTouchFn = r.preTouchItem
 	return r
 }
 
@@ -59,68 +102,167 @@ func (r *Runner[E]) Run(switches []Switch) {
 	if n == 0 {
 		return
 	}
-	w := r.workers
+	r.switches = switches
 	t := r.table
-	t.Reset(n, w)
+	t.Reset(n)
 
 	// Phase 1 (Algorithm 1, lines 1-6): store the four dependency
 	// tuples of every switch. Tuple slots are deterministic (4k..4k+3):
 	// keys[4k]=e1, +1=e2, +2=e3, +3=e4, which decide() reads back.
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			sw := switches[k]
-			e1 := r.E[sw.I]
-			e2 := r.E[sw.J]
-			t3, t4 := e1.Targets(e2, sw.G)
-			t.Store(k, 0, graph.Edge(e1), conc.KindErase)
-			t.Store(k, 1, graph.Edge(e2), conc.KindErase)
-			t.Store(k, 2, graph.Edge(t3), conc.KindInsert)
-			t.Store(k, 3, graph.Edge(t4), conc.KindInsert)
-		}
-	})
+	r.pool.Blocks(n, r.phase1Fn)
 
 	// Phase 2 (lines 7-35): decide switches in rounds via the shared
 	// driver; statuses publish into the dependency table, which is the
 	// linearization point observed by dependent switches.
-	r.RoundDriver.Run(n,
-		func(_ int, k int32) uint32 { return r.decide(switches[k], int(k)) },
-		func(k int32, st uint32) { t.Status[int(k)].Store(st) },
-	)
+	if r.Prefetch {
+		r.PreTouch = r.preTouchFn
+	} else {
+		r.PreTouch = nil
+	}
+	r.RoundDriver.Run(n, r.decideFn, r.publishFn)
 
 	// Phase 3: apply the accepted switches to the edge set. Erasures
 	// first, then insertions, so an edge that is erased by one switch
 	// and re-inserted by another nets out present.
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.EraseUnique(graph.Edge(t.Key(base)))
-			r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
-		}
-	})
-	conc.Blocks(n, w, func(_, lo, hi int) {
-		for k := lo; k < hi; k++ {
-			if t.Status[k].Load() != conc.StatusLegal {
-				continue
-			}
-			base := 4 * k
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
-			r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
-		}
-	})
+	r.pool.Blocks(n, r.eraseFn)
+	r.pool.Blocks(n, r.insertFn)
 	if r.Set.NeedsCompact() {
 		if cap(r.scratch) < len(r.E) {
 			r.scratch = make([]graph.Edge, len(r.E))
 		}
-		s := r.scratch[:len(r.E)]
-		conc.Blocks(len(r.E), w, func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				s[i] = graph.Edge(r.E[i])
+		r.pool.Blocks(len(r.E), r.snapshotFn)
+		r.pool.Blocks(r.Set.Buckets(), r.clearFn)
+		r.Set.ResetCounts()
+		r.pool.Blocks(len(r.E), r.rebuildFn)
+	}
+	r.switches = nil
+}
+
+// phase1 registers the dependency tuples of switches [lo, hi). With
+// Prefetch on, the table buckets of a batch are touched before the
+// batch's stores (the targets are recomputed in the store pass — two
+// cheap ALU evaluations beat spilling them through memory).
+func (r *Runner[E]) phase1(_, lo, hi int) {
+	t := r.table
+	sw := r.switches
+	if r.Prefetch {
+		for base := lo; base < hi; base += pipelineDepth {
+			bh := base + pipelineDepth
+			if bh > hi {
+				bh = hi
 			}
-		})
-		r.Set.Compact(s, w)
+			for k := base; k < bh; k++ {
+				s := sw[k]
+				e1 := r.E[s.I]
+				e2 := r.E[s.J]
+				t3, t4 := e1.Targets(e2, s.G)
+				t.Touch(graph.Edge(e1))
+				t.Touch(graph.Edge(e2))
+				t.Touch(graph.Edge(t3))
+				t.Touch(graph.Edge(t4))
+			}
+			for k := base; k < bh; k++ {
+				r.storeTuples(k)
+			}
+		}
+		return
+	}
+	for k := lo; k < hi; k++ {
+		r.storeTuples(k)
+	}
+}
+
+func (r *Runner[E]) storeTuples(k int) {
+	sw := r.switches[k]
+	t := r.table
+	e1 := r.E[sw.I]
+	e2 := r.E[sw.J]
+	t3, t4 := e1.Targets(e2, sw.G)
+	t.Store(k, 0, graph.Edge(e1), conc.KindErase)
+	t.Store(k, 1, graph.Edge(e2), conc.KindErase)
+	t.Store(k, 2, graph.Edge(t3), conc.KindInsert)
+	t.Store(k, 3, graph.Edge(t4), conc.KindInsert)
+}
+
+// decideItem adapts decide to the driver's item signature.
+func (r *Runner[E]) decideItem(_ int, k int32) uint32 {
+	return r.decide(r.switches[k], int(k))
+}
+
+// publishItem publishes a decision into the dependency table.
+func (r *Runner[E]) publishItem(k int32, st uint32) {
+	r.table.SetStatus(int(k), st)
+}
+
+// preTouchItem pre-touches the table chains and edge-set buckets that
+// deciding switch k will probe (its two target edges).
+func (r *Runner[E]) preTouchItem(_ int, k int32) {
+	t := r.table
+	base := 4 * int(k)
+	t3 := graph.Edge(t.Key(base + 2))
+	t4 := graph.Edge(t.Key(base + 3))
+	t.Touch(t3)
+	t.Touch(t4)
+	r.Set.Touch(t3)
+	r.Set.Touch(t4)
+}
+
+// phase3Erase applies the accepted erasures of switches [lo, hi).
+func (r *Runner[E]) phase3Erase(_, lo, hi int) {
+	t := r.table
+	pf := r.Prefetch
+	for k := lo; k < hi; k++ {
+		if pf && k+pipelineDepth < hi && t.StatusOf(k+pipelineDepth) == conc.StatusLegal {
+			b := 4 * (k + pipelineDepth)
+			r.Set.Touch(graph.Edge(t.Key(b)))
+			r.Set.Touch(graph.Edge(t.Key(b + 1)))
+		}
+		if t.StatusOf(k) != conc.StatusLegal {
+			continue
+		}
+		base := 4 * k
+		r.Set.EraseUnique(graph.Edge(t.Key(base)))
+		r.Set.EraseUnique(graph.Edge(t.Key(base + 1)))
+	}
+}
+
+// phase3Insert applies the accepted insertions of switches [lo, hi).
+func (r *Runner[E]) phase3Insert(_, lo, hi int) {
+	t := r.table
+	pf := r.Prefetch
+	for k := lo; k < hi; k++ {
+		if pf && k+pipelineDepth < hi && t.StatusOf(k+pipelineDepth) == conc.StatusLegal {
+			b := 4 * (k + pipelineDepth)
+			r.Set.Touch(graph.Edge(t.Key(b + 2)))
+			r.Set.Touch(graph.Edge(t.Key(b + 3)))
+		}
+		if t.StatusOf(k) != conc.StatusLegal {
+			continue
+		}
+		base := 4 * k
+		r.Set.InsertUnique(graph.Edge(t.Key(base + 2)))
+		r.Set.InsertUnique(graph.Edge(t.Key(base + 3)))
+	}
+}
+
+// compactSnapshot copies the authoritative edge list into the scratch
+// buffer (phase bodies cannot take parameters, so the buffer length is
+// re-derived from E).
+func (r *Runner[E]) compactSnapshot(_, lo, hi int) {
+	s := r.scratch[:len(r.E)]
+	for i := lo; i < hi; i++ {
+		s[i] = graph.Edge(r.E[i])
+	}
+}
+
+func (r *Runner[E]) compactClear(_, lo, hi int) {
+	r.Set.ClearRange(lo, hi)
+}
+
+func (r *Runner[E]) compactRebuild(_, lo, hi int) {
+	s := r.scratch[:len(r.E)]
+	for i := lo; i < hi; i++ {
+		r.Set.InsertUnique(s[i])
 	}
 }
 
@@ -144,10 +286,21 @@ func (r *Runner[E]) decide(sw Switch, k int) uint32 {
 		// bug but is rejected defensively.
 		st = conc.StatusIllegal
 	} else {
+		// Issue the four bucket loads the loop below depends on before
+		// walking any of them: the two table chains and the two set
+		// probes then overlap their leading cache misses instead of
+		// serializing four memory round-trips.
+		t.Touch(graph.Edge(t3))
+		t.Touch(graph.Edge(t4))
+		r.Set.Touch(graph.Edge(t3))
+		r.Set.Touch(graph.Edge(t4))
 		delay := false
 		for _, target := range [2]E{t3, t4} {
 			key := graph.Edge(target)
-			if p, ok := t.EraseTuple(key); ok {
+			// One chain walk answers both dependency queries: the
+			// switch erasing the target and its minimum inserter.
+			p, pOK, q, sq, qOK := t.Probe(key)
+			if pOK {
 				if p == k {
 					// Own source: already handled above; unreachable.
 					st = conc.StatusIllegal
@@ -159,7 +312,7 @@ func (r *Runner[E]) decide(sw Switch, k int) uint32 {
 					st = conc.StatusIllegal
 					break
 				}
-				switch t.Status[p].Load() {
+				switch t.StatusOf(p) {
 				case conc.StatusIllegal:
 					// σ_p did not erase the target after all.
 					st = conc.StatusIllegal
@@ -175,7 +328,7 @@ func (r *Runner[E]) decide(sw Switch, k int) uint32 {
 				st = conc.StatusIllegal
 				break
 			}
-			if q, sq, ok := t.MinInsert(key); ok && q < k {
+			if qOK && q < k {
 				if sq == conc.StatusLegal {
 					st = conc.StatusIllegal // line 21
 					break

@@ -141,8 +141,15 @@ func WithLoopProb(p float64) Option {
 	}
 }
 
-// WithPrefetch enables the hash-bucket pre-touch pipeline (§5.4) of the
-// sequential chains.
+// WithPrefetch enables the hash-bucket pre-touch pipeline (§5.4): the
+// buckets and dependency-table chains an upcoming operation will probe
+// are loaded a few items ahead, hiding the cache misses of the hot
+// probing loops. It applies to every chain — the sequential software
+// pipeline of SeqES, and the parallel kernel's batched phase-1 stores,
+// decide-cursor pre-touch, and phase-3 applies used by ParES,
+// ParGlobalES (undirected, directed, bipartite), and the
+// Curveball/GlobalCurveball trade chains. Results are bit-identical
+// with the pipeline on or off. Default: off.
 func WithPrefetch(on bool) Option {
 	return func(c *samplerConfig) error {
 		c.prefetch = on

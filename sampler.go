@@ -27,6 +27,8 @@ type samplerEngine interface {
 	steps(ctx context.Context, k int) (engineStats, error)
 	// snapshot clones the target's current state.
 	snapshot() (*Graph, *DiGraph)
+	// close releases the chain's persistent worker gang, if any.
+	close()
 }
 
 // engineStats carries raw counters between the internal engines and the
@@ -156,6 +158,14 @@ func NewSampler(t Target, opts ...Option) (*Sampler, error) {
 		progress: cfg.progress,
 	}, nil
 }
+
+// Close releases the sampler's persistent worker gang (the parallel
+// algorithms park P-1 long-lived goroutines between supersteps). The
+// sampler must not be used afterwards; the target keeps its current
+// state. Closing is optional — a leaked sampler's gang is reclaimed by
+// a finalizer once the sampler is collected — but deterministic release
+// is good hygiene for callers that compile many samplers.
+func (s *Sampler) Close() { s.eng.close() }
 
 // Algorithm returns the name of the chain the sampler runs.
 func (s *Sampler) Algorithm() string { return s.algName }
@@ -328,6 +338,8 @@ func (e *graphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 
 func (e *graphEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
 
+func (e *graphEngine) close() { e.eng.Close() }
+
 // curveballEngine adapts the parallel trade kernel to the sampler. One
 // superstep is one global trade (GlobalCurveball) or ⌊n/2⌋ uniformly
 // random trades (Curveball), mirroring the switch-chains' superstep
@@ -378,6 +390,8 @@ func (e *curveballEngine) steps(ctx context.Context, k int) (engineStats, error)
 
 func (e *curveballEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
 
+func (e *curveballEngine) close() { e.eng.Close() }
+
 // digraphEngine adapts digraph.Engine (directed and bipartite targets)
 // to the sampler.
 type digraphEngine struct {
@@ -402,6 +416,8 @@ func (e *digraphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 
 func (e *digraphEngine) snapshot() (*Graph, *DiGraph) { return nil, e.g.Clone() }
 
+func (e *digraphEngine) close() { e.eng.Close() }
+
 // newSamplerEngine compiles an undirected target: the seven switching
 // implementations plus the two Curveball chains.
 func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
@@ -412,9 +428,11 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		if g.g.M() < 2 {
 			return nil, fmt.Errorf("%w: m=%d", ErrGraphTooSmall, g.g.M())
 		}
+		eng := curveball.NewEngine(g.g, cfg.workers, cfg.seed)
+		eng.Prefetch = cfg.prefetch
 		return &curveballEngine{
 			g:      g,
-			eng:    curveball.NewEngine(g.g, cfg.workers, cfg.seed),
+			eng:    eng,
 			global: cfg.algorithm == GlobalCurveball,
 		}, nil
 	}
@@ -461,6 +479,7 @@ func (g *DiGraph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		Workers:  cfg.workers,
 		Seed:     cfg.seed,
 		LoopProb: cfg.loopProb,
+		Prefetch: cfg.prefetch,
 	})
 	if err != nil {
 		if errors.Is(err, digraph.ErrTooSmall) {
