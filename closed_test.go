@@ -1,0 +1,70 @@
+package gesmc
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The engine pool's eviction path double-closes defensively and can
+// race a caller holding a stale reference, so closed-sampler behavior
+// is part of the public contract: Close is idempotent, and every
+// advancing method reports ErrClosed instead of touching the released
+// worker gang.
+func TestSamplerCloseIdempotent(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g, err := GeneratePowerLaw(1<<9, 2.5, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSampler(g, WithAlgorithm(ParGlobalES), WithWorkers(workers), WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Closed() {
+			t.Fatal("fresh sampler reports Closed")
+		}
+		s.Close()
+		s.Close() // must not panic or disturb the released gang
+		if !s.Closed() {
+			t.Fatal("Closed() false after Close")
+		}
+	}
+}
+
+func TestSamplerUseAfterClose(t *testing.T) {
+	g, err := GeneratePowerLaw(1<<9, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(g, WithAlgorithm(ParGlobalES), WithWorkers(2), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := s.Step(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Step after Close: err=%v, want ErrClosed", err)
+	}
+	if _, err := s.Sample(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sample after Close: err=%v, want ErrClosed", err)
+	}
+	if _, err := s.Collect(context.Background(), 2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Collect after Close: err=%v, want ErrClosed", err)
+	}
+	var last Sample
+	n := 0
+	for smp := range s.Ensemble(context.Background(), 3) {
+		last = smp
+		n++
+	}
+	if n != 1 || !errors.Is(last.Err, ErrClosed) {
+		t.Fatalf("Ensemble after Close: %d samples, last.Err=%v, want 1 terminal ErrClosed", n, last.Err)
+	}
+	if last.Graph != nil {
+		t.Fatal("terminal sample carries a graph")
+	}
+}

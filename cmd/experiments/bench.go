@@ -45,6 +45,10 @@ type benchReport struct {
 	ArcsDir    int           `json:"arcs_directed"`
 	Quick      bool          `json:"quick"`
 	Results    []benchResult `json:"results"`
+	// ServiceThroughput compares R identical requests through the
+	// service layer's pooled engines against cold per-request sampler
+	// construction (see service_bench.go).
+	ServiceThroughput *serviceThroughput `json:"service_throughput"`
 }
 
 // benchOut is overridable for tests.
@@ -121,6 +125,12 @@ func bench(opt options) error {
 				r.Name, r.Workers, r.Attempted, r.NsPerSwitch, r.AllocsPerSuperstep, speedup)
 		}
 	}
+
+	st, err := benchService(opt)
+	if err != nil {
+		return err
+	}
+	report.ServiceThroughput = st
 
 	out := benchOut
 	if out == "" {

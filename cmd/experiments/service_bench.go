@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gesmc"
+	"gesmc/internal/service"
+	"gesmc/wire"
+)
+
+// serviceThroughput is the BENCH JSON record of the service-layer
+// comparison: R identical degree-sequence requests driven through
+// Service.Sample with the engine pool on (warm requests reuse the
+// compiled sampler and its persistent gang, paying only thinning)
+// versus off (every request realizes the target, compiles a sampler,
+// and pays a full burn-in — the cold NewSampler-per-request baseline).
+type serviceThroughput struct {
+	Requests          int     `json:"requests"`
+	SamplesPerRequest int     `json:"samples_per_request"`
+	Nodes             int     `json:"nodes"`
+	PooledRPS         float64 `json:"pooled_rps"`
+	ColdRPS           float64 `json:"cold_rps"`
+	PooledNsPerSwitch float64 `json:"pooled_ns_per_switch"`
+	ColdNsPerSwitch   float64 `json:"cold_ns_per_switch"`
+	PoolHitRate       float64 `json:"pool_hit_rate"`
+	// Speedup is ColdRPS-relative: pooled requests per second over
+	// cold requests per second. The acceptance bar is >= 1.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchService measures the pooled-vs-cold request throughput.
+func benchService(opt options) (*serviceThroughput, error) {
+	n := 1 << 12
+	requests := 16
+	if opt.quick {
+		n = 1 << 9
+		requests = 6
+	}
+	g, err := gesmc.GeneratePowerLaw(n, 2.2, opt.seed)
+	if err != nil {
+		return nil, err
+	}
+	degrees := g.Degrees()
+
+	run := func(pooled bool) (rps, nsPerSwitch, hitRate float64, err error) {
+		svc := service.New(service.Config{
+			WorkerBudget: max(opt.workers, 1),
+			PoolCapacity: 4,
+			NoPooling:    !pooled,
+		})
+		defer svc.Shutdown(context.Background())
+		var attempted, totalNS int64
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			// Burn-in 20 supersteps, thinning 4: the ensemble workload
+			// with a mixing-informed thinning (AnalyzeMixing-style).
+			// Cold requests pay the burn-in every time; a pool hit
+			// resumes a burned-in chain and pays only thinning.
+			req, ferr := service.FromWire(&wire.SampleRequest{
+				Degrees:  degrees,
+				Samples:  2,
+				Seed:     opt.seed,
+				Workers:  max(opt.workers, 1),
+				BurnIn:   20,
+				Thinning: 4,
+			})
+			if ferr != nil {
+				return 0, 0, 0, ferr
+			}
+			serr := svc.Sample(context.Background(), req, func(ln wire.Line) error {
+				if ln.Stats != nil {
+					attempted += ln.Stats.Attempted
+					totalNS += ln.Stats.DurationNS
+				}
+				return nil
+			})
+			if serr != nil {
+				return 0, 0, 0, serr
+			}
+		}
+		elapsed := time.Since(start)
+		rps = float64(requests) / elapsed.Seconds()
+		if attempted > 0 {
+			nsPerSwitch = float64(totalNS) / float64(attempted)
+		}
+		return rps, nsPerSwitch, svc.Metrics().Pool.HitRate, nil
+	}
+
+	st := &serviceThroughput{Requests: requests, SamplesPerRequest: 2, Nodes: n}
+	if st.PooledRPS, st.PooledNsPerSwitch, st.PoolHitRate, err = run(true); err != nil {
+		return nil, err
+	}
+	if st.ColdRPS, st.ColdNsPerSwitch, _, err = run(false); err != nil {
+		return nil, err
+	}
+	if st.ColdRPS > 0 {
+		st.Speedup = st.PooledRPS / st.ColdRPS
+	}
+	fmt.Printf("\n%-22s %12s %12s %10s %10s\n", "service_throughput", "pooled rps", "cold rps", "speedup", "hit rate")
+	fmt.Printf("%-22s %12.1f %12.1f %10.2f %10.2f\n", fmt.Sprintf("n=%d r=%d", n, requests),
+		st.PooledRPS, st.ColdRPS, st.Speedup, st.PoolHitRate)
+	return st, nil
+}

@@ -1,33 +1,42 @@
 // Command gesmc randomizes a simple graph while preserving its degree
 // sequence, using the switching Markov chains of the paper. With
 // -samples it streams a whole thinned ensemble through one reusable
-// sampling engine (the null-model workload).
+// sampling engine (the null-model workload). Input is a text edge list
+// (undirected, or a directed arc list with -directed), read via the
+// public gesmc.ReadEdgeList/ReadArcList codecs; output is either text
+// edge lists or, with -format ndjson, the sampling service's NDJSON
+// stream (one wire.Line per sample).
 //
 // Examples:
 //
 //	gesmc -gen pld:n=65536,gamma=2.5 -algo ParGlobalES -workers 8 -out random.txt
 //	gesmc -in graph.txt -swaps 30 -seed 7 -out shuffled.txt -metrics
-//	gesmc -gen gnp:n=10000,p=0.001 -algo SeqGlobalES -stats
+//	gesmc -in arcs.txt -directed -samples 10 -format ndjson
 //	gesmc -in graph.txt -samples 100 -thinning 4 -out 'sample-%d.txt'
+//	cat graph.txt | gesmc -in - -samples 5 -format ndjson | jq .stats.attempted
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"gesmc"
+	"gesmc/wire"
 )
 
 func main() {
 	var (
 		inPath   = flag.String("in", "", "input edge list file ('-' for stdin)")
+		directed = flag.Bool("directed", false, "treat -in as a directed arc list (tail head pairs)")
 		genSpec  = flag.String("gen", "", "generate input: gnp:n=..,p=.. | pld:n=..,gamma=.. | reg:n=..,d=.. | grid:r=..,c=..")
-		outPath  = flag.String("out", "", "write resulting edge list to file ('-' for stdout); with -samples > 1, a pattern containing %d")
+		outPath  = flag.String("out", "", "write result to file ('-' for stdout); with -samples > 1 and -format edgelist, a pattern containing %d")
+		format   = flag.String("format", "edgelist", "output format: edgelist | ndjson (one wire.Line per sample)")
 		algoName = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers P")
 		swaps    = flag.Float64("swaps", 10, "switch attempts per edge (burn-in)")
@@ -36,12 +45,15 @@ func main() {
 		thinning = flag.Int("thinning", 0, "supersteps between samples (0 = same as burn-in)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		stats    = flag.Bool("stats", false, "print run statistics")
-		metrics  = flag.Bool("metrics", false, "print graph metrics before and after")
+		metrics  = flag.Bool("metrics", false, "print graph metrics before and after (undirected targets)")
 		prefetch = flag.Bool("prefetch", true, "enable hash-bucket pre-touch pipeline")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*inPath, *genSpec, *seed)
+	if *format != "edgelist" && *format != "ndjson" {
+		fatal(fmt.Errorf("unknown -format %q (want edgelist or ndjson)", *format))
+	}
+	target, err := loadTarget(*inPath, *genSpec, *seed, *directed)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,13 +75,28 @@ func main() {
 	if *thinning > 0 {
 		opts = append(opts, gesmc.WithThinning(*thinning))
 	}
-	sampler, err := gesmc.NewSampler(g, opts...)
+	sampler, err := gesmc.NewSampler(target, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	defer sampler.Close()
 
-	if *metrics {
-		printMetrics("before", g)
+	ug, _ := target.(*gesmc.Graph) // nil for directed targets
+	dg, _ := target.(*gesmc.DiGraph)
+	if *metrics && ug != nil {
+		printMetrics("before", ug)
+	}
+
+	ndjsonOut, closeNDJSON, err := openNDJSON(*outPath, *format)
+	if err != nil {
+		fatal(err)
+	}
+	finishNDJSON := func() {
+		// Deferred write errors (full disk, NFS) surface at Close; an
+		// unchecked close would exit 0 with a truncated stream.
+		if err := closeNDJSON(); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *samples <= 1 {
@@ -77,22 +104,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *metrics {
-			printMetrics("after", g)
+		if *metrics && ug != nil {
+			printMetrics("after", ug)
 		}
 		if *stats {
 			printStats(st)
 		}
-		if *outPath != "" {
-			if err := writeGraph(*outPath, g); err != nil {
+		switch {
+		case ndjsonOut != nil:
+			smp := gesmc.Sample{Graph: ug, DiGraph: dg, Stats: st}
+			if err := wire.EncodeLine(ndjsonOut, wire.FromSample(smp)); err != nil {
+				fatal(err)
+			}
+			finishNDJSON()
+		case *outPath != "":
+			if err := writeTarget(*outPath, target); err != nil {
 				fatal(err)
 			}
 		}
 		return
 	}
 
-	if *outPath != "" && !strings.Contains(*outPath, "%d") {
-		fatal(fmt.Errorf("-samples %d needs an -out pattern containing %%d", *samples))
+	if ndjsonOut == nil && *outPath != "" && !strings.Contains(*outPath, "%d") {
+		fatal(fmt.Errorf("-samples %d needs an -out pattern containing %%d (or -format ndjson)", *samples))
 	}
 	for smp := range sampler.Ensemble(context.Background(), *samples) {
 		if smp.Err != nil {
@@ -101,20 +135,51 @@ func main() {
 		if *stats {
 			printStats(smp.Stats)
 		}
-		if *outPath != "" {
-			if err := writeGraph(strings.ReplaceAll(*outPath, "%d", strconv.Itoa(smp.Index)), smp.Graph); err != nil {
+		switch {
+		case ndjsonOut != nil:
+			if err := wire.EncodeLine(ndjsonOut, wire.FromSample(smp)); err != nil {
+				fatal(err)
+			}
+		case *outPath != "":
+			var t gesmc.Target
+			if smp.Graph != nil {
+				t = smp.Graph
+			} else {
+				t = smp.DiGraph
+			}
+			if err := writeTarget(strings.ReplaceAll(*outPath, "%d", strconv.Itoa(smp.Index)), t); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	if *metrics {
-		printMetrics("after", g)
+	if ndjsonOut != nil {
+		finishNDJSON()
+	}
+	if *metrics && ug != nil {
+		printMetrics("after", ug)
 	}
 	if *stats {
 		total := sampler.Stats()
 		fmt.Fprintf(os.Stderr, "ensemble: %d samples in %d supersteps (engine built once), total time=%v\n",
 			sampler.Samples(), sampler.Supersteps(), total.Duration)
 	}
+}
+
+// openNDJSON resolves the NDJSON sink: stdout by default, or -out as a
+// single stream file, with a close function that reports deferred
+// write errors. Returns a nil writer for -format edgelist.
+func openNDJSON(outPath, format string) (io.Writer, func() error, error) {
+	if format != "ndjson" {
+		return nil, nil, nil
+	}
+	if outPath == "" || outPath == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
 }
 
 func printStats(st gesmc.Stats) {
@@ -124,34 +189,53 @@ func printStats(st gesmc.Stats) {
 		float64(st.Accepted)/float64(st.Attempted), st.AvgRounds, st.MaxRounds, st.Duration)
 }
 
-func writeGraph(path string, g *gesmc.Graph) error {
+func writeTarget(path string, t gesmc.Target) error {
 	if path == "-" {
-		return g.Write(os.Stdout)
+		return gesmc.WriteEdgeList(os.Stdout, t)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := g.Write(f); err != nil {
+	if err := gesmc.WriteEdgeList(f, t); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-func loadGraph(inPath, genSpec string, seed uint64) (*gesmc.Graph, error) {
+// loadTarget reads or generates the sampling target. Directed targets
+// come only from arc-list input (-in); the generators are undirected.
+func loadTarget(inPath, genSpec string, seed uint64, directed bool) (gesmc.Target, error) {
+	if directed {
+		switch {
+		case genSpec != "":
+			return nil, fmt.Errorf("-directed requires -in (the generators are undirected)")
+		case inPath == "":
+			return nil, fmt.Errorf("no input: pass -in FILE with -directed")
+		case inPath == "-":
+			return gesmc.ReadArcList(os.Stdin)
+		default:
+			f, err := os.Open(inPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return gesmc.ReadArcList(f)
+		}
+	}
 	switch {
 	case inPath != "" && genSpec != "":
 		return nil, fmt.Errorf("use either -in or -gen, not both")
 	case inPath == "-":
-		return gesmc.ReadGraph(os.Stdin)
+		return gesmc.ReadEdgeList(os.Stdin)
 	case inPath != "":
 		f, err := os.Open(inPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return gesmc.ReadGraph(f)
+		return gesmc.ReadEdgeList(f)
 	case genSpec != "":
 		return generate(genSpec, seed)
 	default:

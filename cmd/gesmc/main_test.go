@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"gesmc"
 )
 
 func TestGenerateSpecs(t *testing.T) {
@@ -40,26 +42,49 @@ func TestGenerateSpecs(t *testing.T) {
 	}
 }
 
-func TestLoadGraphFromFile(t *testing.T) {
+func TestLoadTargetFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.txt")
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadGraph(path, "", 1)
+	tg, err := loadTarget(path, "", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.M() != 2 {
+	if g := tg.(*gesmc.Graph); g.M() != 2 {
 		t.Fatalf("m=%d", g.M())
 	}
-	if _, err := loadGraph(path, "gnp:n=10,p=0.1", 1); err == nil {
+	if _, err := loadTarget(path, "gnp:n=10,p=0.1", 1, false); err == nil {
 		t.Fatal("-in and -gen together accepted")
 	}
-	if _, err := loadGraph("", "", 1); err == nil {
+	if _, err := loadTarget("", "", 1, false); err == nil {
 		t.Fatal("no input accepted")
 	}
-	if _, err := loadGraph(filepath.Join(dir, "missing.txt"), "", 1); err == nil {
+	if _, err := loadTarget(filepath.Join(dir, "missing.txt"), "", 1, false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadTargetDirected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	// Both orientations survive in a directed read.
+	if err := os.WriteFile(path, []byte("% directed\n0 1\n1 0\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tg, err := loadTarget(path, "", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, ok := tg.(*gesmc.DiGraph)
+	if !ok || dg.M() != 3 {
+		t.Fatalf("directed load: %T m=%d", tg, dg.M())
+	}
+	if _, err := loadTarget("", "gnp:n=10,p=0.1", 1, true); err == nil {
+		t.Fatal("-directed with -gen accepted")
+	}
+	if _, err := loadTarget("", "", 1, true); err == nil {
+		t.Fatal("-directed without input accepted")
 	}
 }

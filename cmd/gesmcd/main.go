@@ -1,0 +1,93 @@
+// Command gesmcd is the gesmc sampling daemon: an HTTP server that
+// draws ensembles of degree-preserving random graphs on request,
+// multiplexing all requests over a bounded worker budget and a pool of
+// compiled sampling engines (persistent worker gangs are reused across
+// requests instead of rebuilt per call).
+//
+// API (JSON formats in package gesmc/wire):
+//
+//	POST /v1/sample   sample an ensemble; the response is NDJSON, one
+//	                  line per sample, streamed as produced
+//	GET  /v1/healthz  liveness
+//	GET  /v1/metrics  request/queue/pool/throughput counters
+//
+// Example:
+//
+//	gesmcd -addr 127.0.0.1:8742 &
+//	curl -s http://127.0.0.1:8742/v1/sample -d '{
+//	        "degrees": [3,3,2,2,2,1,1], "samples": 100, "seed": 7,
+//	        "algorithm": "ParGlobalES"}' | jq .stats.supersteps
+//
+// On SIGINT/SIGTERM the daemon stops admitting work, drains in-flight
+// streams (bounded by -drain), and parks every pooled worker gang.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gesmc/internal/service"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8742", "listen address (host:port; port 0 picks a free port)")
+		budget = flag.Int("budget", runtime.GOMAXPROCS(0), "global worker budget shared by all jobs")
+		queue  = flag.Int("queue", 64, "admission queue depth; arrivals beyond it get HTTP 429")
+		pool   = flag.Int("pool", 8, "engine pool capacity (0 disables pooling)")
+		drain  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		WorkerBudget: *budget,
+		QueueLimit:   *queue,
+		PoolCapacity: *pool,
+		NoPooling:    *pool == 0,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("gesmcd: %v", err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+
+	// The "listening on" line is load-bearing: scripts (CI smoke, the
+	// examples) scrape the resolved address when -addr used port 0.
+	fmt.Printf("gesmcd: listening on %s (budget=%d queue=%d pool=%d)\n",
+		ln.Addr(), *budget, *queue, *pool)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("gesmcd: signal received, draining (timeout %v)", *drain)
+	case err := <-errCh:
+		log.Fatalf("gesmcd: %v", err)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections and wait for handlers, then drain the
+	// job layer and park every pooled gang.
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("gesmcd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(dctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("gesmcd: job drain: %v", err)
+	}
+	log.Printf("gesmcd: bye")
+}

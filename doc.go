@@ -81,7 +81,20 @@
 // Construction helpers cover edge lists (NewGraph, ReadGraph), degree
 // sequences (FromDegrees via Havel-Hakimi, FromInOutDegrees via
 // Kleitman-Wang, FromBipartiteDegrees), and generators (G(n,p),
-// power-law, regular, grid).
+// power-law, regular, grid). Graph I/O is part of the public API:
+// WriteEdgeList/ReadEdgeList/ReadArcList exchange text edge lists for
+// both target classes (directed files carry a "% directed" marker),
+// and the gesmc/wire subpackage defines the JSON formats of the
+// sampling service.
+//
+// The sampling service (internal/service, daemon cmd/gesmcd) serves
+// ensembles over HTTP: POST /v1/sample streams one NDJSON line per
+// sample as it is produced, requests share a bounded global worker
+// budget with FIFO admission control, and an engine pool reuses
+// compiled samplers — persistent worker gangs included — across
+// requests with the same (target, algorithm, workers, seed) identity.
+// Sampler.Close is idempotent, and a closed sampler's methods return
+// ErrClosed, so pooled engines evict safely. See DESIGN.md §9.
 //
 // Deprecated one-shot entry points: Randomize, RandomizeDirected, and
 // SampleFromDegrees remain supported as thin wrappers that build a

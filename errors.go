@@ -36,4 +36,9 @@ var (
 	// ErrGraphTooSmall is returned for target graphs with fewer than two
 	// edges, on which no switch (and no trade) is defined.
 	ErrGraphTooSmall = errors.New("gesmc: graph has fewer than 2 edges")
+	// ErrClosed is returned by Step, Sample, Ensemble, and Collect on a
+	// Sampler whose Close has been called: the persistent worker gang is
+	// released and the chain cannot advance. Close itself is idempotent,
+	// so pooling layers may double-close defensively.
+	ErrClosed = errors.New("gesmc: sampler is closed")
 )

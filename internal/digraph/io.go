@@ -1,0 +1,118 @@
+package digraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gesmc/internal/graph"
+)
+
+// WriteArcList writes g in a plain text format: a "% directed" marker
+// line, a header line "n m", then one "tail head" pair per line. The
+// marker makes arc-list files self-describing: graph.ReadEdgeList
+// rejects a file that leads with it instead of silently collapsing
+// reciprocal arc pairs into undirected edges. (ReadArcList stays
+// permissive the other way — an unmarked file reads as one arc per
+// line, which is the only sensible directed interpretation.)
+func WriteArcList(w io.Writer, g *DiGraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%% directed\n%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, a := range g.Arcs() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", a.Tail(), a.Head()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadArcList parses the format written by WriteArcList, tolerating the
+// same loose variants as the undirected reader: '#'/'%' comment lines,
+// a missing "n m" header (node count inferred), loops and duplicate
+// arcs (dropped). Unlike the undirected reader, (u,v) and (v,u) are
+// distinct arcs and both survive.
+func ReadArcList(r io.Reader) (*DiGraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	var pairs [][2]int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("digraph: malformed line %q", line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("digraph: bad node id %q: %v", fields[0], err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("digraph: bad node id %q: %v", fields[1], err)
+		}
+		pairs = append(pairs, [2]int64{a, b})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Header detection, mirroring graph.ReadEdgeList: the first line
+	// "n m" is a header iff m matches the number of remaining lines and
+	// no later line references a node >= n.
+	declaredN := int64(-1)
+	data := pairs
+	if len(pairs) > 0 && int64(len(pairs)-1) == pairs[0][1] {
+		header := pairs[0]
+		isHeader := true
+		for _, p := range pairs[1:] {
+			if p[0] >= header[0] || p[1] >= header[0] {
+				isHeader = false
+				break
+			}
+		}
+		if isHeader {
+			declaredN = header[0]
+			data = pairs[1:]
+		}
+	}
+
+	arcs := make([]Arc, 0, len(data))
+	seen := make(map[Arc]struct{}, len(data))
+	maxNode := int64(-1)
+	for _, p := range data {
+		a, b := p[0], p[1]
+		if a < 0 || b < 0 || a >= graph.MaxNodes || b >= graph.MaxNodes {
+			return nil, fmt.Errorf("digraph: node id out of range: %d %d", a, b)
+		}
+		if a == b {
+			continue // drop loops
+		}
+		arc := MakeArc(graph.Node(a), graph.Node(b))
+		if _, dup := seen[arc]; dup {
+			continue // drop parallel arcs
+		}
+		seen[arc] = struct{}{}
+		arcs = append(arcs, arc)
+		if a > maxNode {
+			maxNode = a
+		}
+		if b > maxNode {
+			maxNode = b
+		}
+	}
+	n := maxNode + 1
+	if declaredN > n {
+		n = declaredN
+	}
+	if n < 0 {
+		n = 0
+	}
+	return New(int(n), arcs)
+}

@@ -29,14 +29,25 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // loops and multi-edges — the latter are dropped, mirroring the paper's
 // NetRep preprocessing ("all directed edges (u,v) are replaced by
 // undirected {u,v}, and self-loops and multi-edges are removed").
+// Files that lead with the "% directed" marker (the arc-list format of
+// digraph.WriteArcList) are rejected: silently collapsing reciprocal
+// arc pairs would "preserve" the wrong degree sequence.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 
 	var pairs [][2]int64
+	first := true
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || line[0] == '#' || line[0] == '%' {
+		if line == "" {
+			continue
+		}
+		if first && strings.EqualFold(line, "% directed") {
+			return nil, fmt.Errorf("graph: %q is a directed arc list; read it with ReadArcList", line)
+		}
+		first = false
+		if line[0] == '#' || line[0] == '%' {
 			continue
 		}
 		fields := strings.Fields(line)

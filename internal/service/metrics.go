@@ -1,0 +1,55 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gesmc/wire"
+)
+
+// serviceMetrics aggregates the counters behind GET /v1/metrics. All
+// fields are atomics: the hot path (one update per streamed sample)
+// must not serialize concurrent jobs.
+type serviceMetrics struct {
+	start time.Time
+
+	requestsTotal    atomic.Int64
+	requestsInflight atomic.Int64
+	requestsRejected atomic.Int64
+	requestsFailed   atomic.Int64
+
+	samplesTotal    atomic.Int64
+	superstepsTotal atomic.Int64
+	switchesTotal   atomic.Int64
+}
+
+// observeSample records one streamed sample line's engine work.
+func (m *serviceMetrics) observeSample(supersteps int, attempted int64) {
+	m.samplesTotal.Add(1)
+	m.superstepsTotal.Add(int64(supersteps))
+	m.switchesTotal.Add(attempted)
+}
+
+// snapshot assembles the wire document; the scheduler and pool
+// contribute their own gauges.
+func (m *serviceMetrics) snapshot(sched *scheduler, pool *enginePool) wire.Metrics {
+	uptime := time.Since(m.start)
+	out := wire.Metrics{
+		RequestsTotal:    m.requestsTotal.Load(),
+		RequestsInflight: m.requestsInflight.Load(),
+		RequestsRejected: m.requestsRejected.Load(),
+		RequestsFailed:   m.requestsFailed.Load(),
+		QueueDepth:       sched.depth.Load(),
+		WorkerBudget:     sched.budget,
+		WorkersBusy:      sched.busy.Load(),
+		Pool:             pool.metrics(),
+		SamplesTotal:     m.samplesTotal.Load(),
+		SuperstepsTotal:  m.superstepsTotal.Load(),
+		SwitchesTotal:    m.switchesTotal.Load(),
+		UptimeMS:         uptime.Milliseconds(),
+	}
+	if secs := uptime.Seconds(); secs > 0 {
+		out.SuperstepsPerSec = float64(out.SuperstepsTotal) / secs
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"gesmc"
+	"gesmc/wire"
+)
+
+// enginePool caches idle compiled Samplers between requests. Compiling
+// a sampler is the expensive part of a small request — building the
+// hash-based edge set, dependency table, and adjacency state, spinning
+// up the persistent worker gang, and paying the burn-in — so a pool hit
+// skips construction entirely and, because a pooled sampler is already
+// burned in, its first sample costs one thinning interval instead of a
+// full burn-in.
+//
+// Checkout is exclusive: a pooled sampler is removed from the pool
+// while a request drives it (Samplers are not safe for concurrent use),
+// and checked back in afterwards. Concurrent requests with the same key
+// therefore miss and compile their own engines; the surplus copies pool
+// on check-in and age out by LRU. Eviction closes the sampler
+// (Sampler.Close is idempotent, and a closed sampler's methods return
+// gesmc.ErrClosed, so a stale reference fails loudly instead of
+// corrupting a released gang).
+//
+// Keying includes the seed and chain schedule (see engineKey), so a
+// request with an explicit seed is deterministic against a cold pool;
+// a pool hit resumes the same chain where the previous same-key request
+// left it — the samples remain valid draws from the same stationary
+// distribution, advanced further.
+type enginePool struct {
+	mu     sync.Mutex
+	cap    int
+	closed bool
+	lru    list.List // of *poolEntry, front = most recently used
+	byKey  map[engineKey][]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type poolEntry struct {
+	key engineKey
+	s   *gesmc.Sampler
+}
+
+func newEnginePool(capacity int) *enginePool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &enginePool{cap: capacity, byKey: make(map[engineKey][]*list.Element)}
+}
+
+// checkout removes and returns an idle sampler for key, or (nil, false)
+// on a miss. The caller owns the sampler until checkin.
+func (p *enginePool) checkout(key engineKey) (*gesmc.Sampler, bool) {
+	p.mu.Lock()
+	elems := p.byKey[key]
+	if len(elems) == 0 {
+		p.mu.Unlock()
+		p.misses.Add(1)
+		return nil, false
+	}
+	elem := elems[len(elems)-1]
+	p.removeLocked(elem)
+	entry := elem.Value.(*poolEntry)
+	p.mu.Unlock()
+	p.hits.Add(1)
+	return entry.s, true
+}
+
+// checkin returns a sampler to the pool, evicting least-recently-used
+// entries (closing their gangs) beyond capacity. With capacity 0 the
+// sampler is closed immediately — the cold-path configuration the
+// service_throughput benchmark compares against.
+func (p *enginePool) checkin(key engineKey, s *gesmc.Sampler) {
+	var evicted []*gesmc.Sampler
+	p.mu.Lock()
+	if p.closed {
+		// A job that outlived a timed-out Shutdown drain checks in
+		// after close(): the pool stays empty and the gang is parked
+		// now, or nobody ever would.
+		p.mu.Unlock()
+		s.Close()
+		return
+	}
+	elem := p.lru.PushFront(&poolEntry{key: key, s: s})
+	p.byKey[key] = append(p.byKey[key], elem)
+	for p.lru.Len() > p.cap {
+		back := p.lru.Back()
+		p.removeLocked(back)
+		evicted = append(evicted, back.Value.(*poolEntry).s)
+	}
+	p.mu.Unlock()
+	// Close outside the lock: parking a gang synchronizes with its
+	// worker goroutines.
+	for _, ev := range evicted {
+		p.evictions.Add(1)
+		ev.Close()
+	}
+}
+
+// removeLocked unlinks elem from both indexes.
+func (p *enginePool) removeLocked(elem *list.Element) {
+	entry := elem.Value.(*poolEntry)
+	p.lru.Remove(elem)
+	elems := p.byKey[entry.key]
+	for i, e := range elems {
+		if e == elem {
+			elems[i] = elems[len(elems)-1]
+			elems = elems[:len(elems)-1]
+			break
+		}
+	}
+	if len(elems) == 0 {
+		delete(p.byKey, entry.key)
+	} else {
+		p.byKey[entry.key] = elems
+	}
+}
+
+// close closes every pooled sampler and marks the pool closed, so a
+// late checkin (a job that outlived a timed-out shutdown drain) closes
+// its sampler instead of resurrecting the pool.
+func (p *enginePool) close() {
+	p.mu.Lock()
+	p.closed = true
+	var all []*gesmc.Sampler
+	for elem := p.lru.Front(); elem != nil; elem = elem.Next() {
+		all = append(all, elem.Value.(*poolEntry).s)
+	}
+	p.lru.Init()
+	p.byKey = make(map[engineKey][]*list.Element)
+	p.mu.Unlock()
+	for _, s := range all {
+		s.Close()
+	}
+}
+
+// metrics snapshots the pool counters.
+func (p *enginePool) metrics() wire.PoolMetrics {
+	p.mu.Lock()
+	engines := p.lru.Len()
+	p.mu.Unlock()
+	hits, misses := p.hits.Load(), p.misses.Load()
+	m := wire.PoolMetrics{
+		Engines:   engines,
+		Capacity:  p.cap,
+		Hits:      hits,
+		Misses:    misses,
+		Evictions: p.evictions.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		m.HitRate = float64(hits) / float64(total)
+	}
+	return m
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"gesmc"
+)
+
+func testSampler(t *testing.T, seed uint64) (*gesmc.Sampler, engineKey) {
+	t.Helper()
+	r := &Request{
+		kind:      targetDegrees,
+		degrees:   []int{3, 2, 2, 2, 1},
+		Algorithm: gesmc.ParGlobalES,
+		Workers:   1,
+		Seed:      seed,
+		Samples:   1,
+	}
+	target, err := r.buildTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gesmc.NewSampler(target, r.samplerOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r.engineKey()
+}
+
+func TestPoolCheckoutHitAndMiss(t *testing.T) {
+	p := newEnginePool(4)
+	s, key := testSampler(t, 1)
+	if _, hit := p.checkout(key); hit {
+		t.Fatal("hit on empty pool")
+	}
+	p.checkin(key, s)
+	got, hit := p.checkout(key)
+	if !hit || got != s {
+		t.Fatalf("hit=%v got=%p want=%p", hit, got, s)
+	}
+	// Checkout is exclusive: a second checkout of the same key misses.
+	if _, hit := p.checkout(key); hit {
+		t.Fatal("double checkout of one pooled engine")
+	}
+	m := p.metrics()
+	if m.Hits != 1 || m.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", m.Hits, m.Misses)
+	}
+	if m.HitRate <= 0.32 || m.HitRate >= 0.34 {
+		t.Fatalf("hit rate %v", m.HitRate)
+	}
+	got.Close()
+}
+
+func TestPoolLRUEvictionClosesSampler(t *testing.T) {
+	p := newEnginePool(2)
+	s1, k1 := testSampler(t, 1)
+	s2, k2 := testSampler(t, 2)
+	s3, k3 := testSampler(t, 3)
+	p.checkin(k1, s1)
+	p.checkin(k2, s2)
+	p.checkin(k3, s3) // capacity 2: s1 is the LRU victim
+	if m := p.metrics(); m.Engines != 2 || m.Evictions != 1 {
+		t.Fatalf("engines=%d evictions=%d", m.Engines, m.Evictions)
+	}
+	// The evicted sampler's gang is released: a stale reference fails
+	// loudly instead of driving freed state.
+	if _, err := s1.Step(1); !errors.Is(err, gesmc.ErrClosed) {
+		t.Fatalf("evicted sampler Step: %v, want ErrClosed", err)
+	}
+	if _, hit := p.checkout(k1); hit {
+		t.Fatal("evicted key still pooled")
+	}
+	if _, hit := p.checkout(k2); !hit {
+		t.Fatal("survivor k2 missing")
+	}
+	if _, hit := p.checkout(k3); !hit {
+		t.Fatal("survivor k3 missing")
+	}
+	s2.Close()
+	s3.Close()
+}
+
+func TestPoolZeroCapacityClosesImmediately(t *testing.T) {
+	p := newEnginePool(0)
+	s, key := testSampler(t, 1)
+	p.checkin(key, s)
+	if !s.Closed() {
+		t.Fatal("capacity-0 checkin left the sampler open")
+	}
+	if m := p.metrics(); m.Engines != 0 || m.Evictions != 1 {
+		t.Fatalf("engines=%d evictions=%d", m.Engines, m.Evictions)
+	}
+}
+
+func TestPoolCheckinAfterClose(t *testing.T) {
+	p := newEnginePool(4)
+	p.close()
+	// A job that outlives a timed-out shutdown drain checks its engine
+	// in late: the sampler must be closed, not resurrect the pool.
+	s, key := testSampler(t, 1)
+	p.checkin(key, s)
+	if !s.Closed() {
+		t.Fatal("late checkin left the sampler open")
+	}
+	if m := p.metrics(); m.Engines != 0 {
+		t.Fatalf("closed pool holds %d engines", m.Engines)
+	}
+}
+
+func TestPoolCloseClosesAll(t *testing.T) {
+	p := newEnginePool(4)
+	s1, k1 := testSampler(t, 1)
+	s2, k2 := testSampler(t, 2)
+	p.checkin(k1, s1)
+	p.checkin(k2, s2)
+	p.close()
+	if !s1.Closed() || !s2.Closed() {
+		t.Fatal("pool close left samplers open")
+	}
+	if m := p.metrics(); m.Engines != 0 {
+		t.Fatalf("engines=%d after close", m.Engines)
+	}
+}
+
+func TestEngineKeySensitivity(t *testing.T) {
+	base := &Request{kind: targetDegrees, degrees: []int{2, 2, 1, 1}, Algorithm: gesmc.ParGlobalES, Workers: 2, Seed: 9, Samples: 1}
+	same := *base
+	if base.engineKey() != same.engineKey() {
+		t.Fatal("identical requests hash differently")
+	}
+	cases := map[string]*Request{}
+	{
+		r := *base
+		r.Seed = 10
+		cases["seed"] = &r
+	}
+	{
+		r := *base
+		r.Workers = 4
+		cases["workers"] = &r
+	}
+	{
+		r := *base
+		r.Algorithm = gesmc.SeqES
+		cases["algorithm"] = &r
+	}
+	{
+		r := *base
+		r.degrees = []int{2, 1, 2, 1}
+		cases["degree order"] = &r
+	}
+	{
+		r := *base
+		r.Thinning = 3
+		cases["thinning"] = &r
+	}
+	{
+		r := *base
+		r.kind, r.degrees, r.outDegrees, r.inDegrees = targetInOut, nil, []int{1, 1}, []int{1, 1}
+		cases["target kind"] = &r
+	}
+	for name, r := range cases {
+		if r.engineKey() == base.engineKey() {
+			t.Errorf("%s change did not change the engine key", name)
+		}
+	}
+
+	// Regression: slice boundaries are length-prefixed, so shifting a
+	// value across the left/right split must change the key (an
+	// in-band separator word collided with a degree of its own value).
+	a := &Request{kind: targetBipartite, left: []int{47, 1}, right: []int{47, 1}, Algorithm: gesmc.ParGlobalES, Workers: 1, Samples: 1}
+	b := &Request{kind: targetBipartite, left: []int{47, 1, 47}, right: []int{1}, Algorithm: gesmc.ParGlobalES, Workers: 1, Samples: 1}
+	if a.engineKey() == b.engineKey() {
+		t.Fatal("different bipartite splits share an engine key")
+	}
+}

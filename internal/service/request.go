@@ -1,0 +1,325 @@
+// Package service is the sampling service subsystem: a request model
+// with typed validation, an engine pool that reuses compiled Samplers
+// (and their persistent worker gangs) across requests, a job scheduler
+// with a global worker budget and admission control, and an HTTP layer
+// streaming ensembles as NDJSON. cmd/gesmcd is the daemon wrapping this
+// package; the wire package defines the JSON formats.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"gesmc"
+	"gesmc/wire"
+)
+
+// Typed service errors. The HTTP layer maps them to status codes
+// (ErrBadRequest → 400, ErrOverloaded → 429, ErrShuttingDown → 503);
+// embedded callers classify them with errors.Is.
+var (
+	// ErrBadRequest is the sentinel wrapped by every request
+	// validation failure.
+	ErrBadRequest = errors.New("service: invalid request")
+	// ErrOverloaded is returned when the admission queue is full; the
+	// client should back off and retry.
+	ErrOverloaded = errors.New("service: overloaded, admission queue full")
+	// ErrShuttingDown is returned for requests arriving after Shutdown
+	// began.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// RequestError is a validation failure for one request field. It wraps
+// ErrBadRequest.
+type RequestError struct {
+	Field  string
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("service: invalid request: %s: %s", e.Field, e.Reason)
+}
+
+func (e *RequestError) Unwrap() error { return ErrBadRequest }
+
+// targetKind enumerates the supported target specifications.
+type targetKind uint8
+
+const (
+	targetDegrees targetKind = iota + 1
+	targetInOut
+	targetBipartite
+	targetEdges
+	targetArcs
+)
+
+// Request is the validated, resolved form of one sampling job: a
+// target specification plus the sampler options. Build one from the
+// wire form with FromWire, or fill it directly for embedded use.
+type Request struct {
+	kind targetKind
+
+	degrees    []int
+	outDegrees []int
+	inDegrees  []int
+	left       []int
+	right      []int
+	nodes      int
+	edges      [][2]uint32
+
+	// Algorithm, Workers, Seed, Samples, BurnIn, Thinning,
+	// SwapsPerEdge mirror the Sampler options; Timeout bounds the
+	// whole job including queue wait.
+	Algorithm    gesmc.Algorithm
+	Workers      int
+	Seed         uint64
+	Samples      int
+	BurnIn       int
+	Thinning     int
+	SwapsPerEdge float64
+	Timeout      time.Duration
+}
+
+// FromWire validates a wire request and resolves defaults. All
+// failures wrap ErrBadRequest.
+func FromWire(wr *wire.SampleRequest) (*Request, error) {
+	if wr == nil {
+		return nil, &RequestError{Field: "body", Reason: "missing request body"}
+	}
+	r := &Request{
+		Workers:      wr.Workers,
+		Seed:         wr.Seed,
+		Samples:      wr.Samples,
+		BurnIn:       wr.BurnIn,
+		Thinning:     wr.Thinning,
+		SwapsPerEdge: wr.SwapsPerEdge,
+		nodes:        wr.Nodes,
+	}
+	if wr.TimeoutMS < 0 {
+		return nil, &RequestError{Field: "timeout_ms", Reason: "must be non-negative"}
+	}
+	r.Timeout = time.Duration(wr.TimeoutMS) * time.Millisecond
+
+	// Exactly one target spec.
+	specs := 0
+	if len(wr.Degrees) > 0 {
+		r.kind, r.degrees = targetDegrees, wr.Degrees
+		specs++
+	}
+	if len(wr.OutDegrees) > 0 || len(wr.InDegrees) > 0 {
+		if len(wr.OutDegrees) != len(wr.InDegrees) {
+			return nil, &RequestError{Field: "out_degrees/in_degrees",
+				Reason: fmt.Sprintf("length mismatch: %d vs %d", len(wr.OutDegrees), len(wr.InDegrees))}
+		}
+		r.kind, r.outDegrees, r.inDegrees = targetInOut, wr.OutDegrees, wr.InDegrees
+		specs++
+	}
+	if len(wr.BipartiteLeft) > 0 || len(wr.BipartiteRight) > 0 {
+		if len(wr.BipartiteLeft) == 0 || len(wr.BipartiteRight) == 0 {
+			return nil, &RequestError{Field: "bipartite_left/bipartite_right",
+				Reason: "both sides must be non-empty"}
+		}
+		r.kind, r.left, r.right = targetBipartite, wr.BipartiteLeft, wr.BipartiteRight
+		specs++
+	}
+	if len(wr.Edges) > 0 {
+		if wr.Directed {
+			r.kind = targetArcs
+		} else {
+			r.kind = targetEdges
+		}
+		r.edges = wr.Edges
+		specs++
+	}
+	switch {
+	case specs == 0:
+		return nil, &RequestError{Field: "target",
+			Reason: "one of degrees, out_degrees+in_degrees, bipartite_left+bipartite_right, or edges is required"}
+	case specs > 1:
+		return nil, &RequestError{Field: "target", Reason: "multiple target specifications"}
+	}
+
+	if wr.Algorithm == "" {
+		r.Algorithm = gesmc.ParGlobalES
+	} else {
+		alg, err := gesmc.ParseAlgorithm(wr.Algorithm)
+		if err != nil {
+			return nil, &RequestError{Field: "algorithm", Reason: fmt.Sprintf("unknown %q", wr.Algorithm)}
+		}
+		r.Algorithm = alg
+	}
+	if r.Workers == 0 {
+		r.Workers = 1
+	}
+	if r.Samples == 0 {
+		r.Samples = 1
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Validate checks the resolved request. It is called by FromWire and
+// again by Service.Sample, so directly-constructed Requests get the
+// same screening.
+func (r *Request) Validate() error {
+	if r.kind == 0 {
+		return &RequestError{Field: "target", Reason: "no target specification"}
+	}
+	if r.Workers < 1 {
+		return &RequestError{Field: "workers", Reason: "must be at least 1"}
+	}
+	if r.Samples < 1 {
+		return &RequestError{Field: "samples", Reason: "must be at least 1"}
+	}
+	if r.BurnIn < 0 {
+		return &RequestError{Field: "burn_in", Reason: "must be non-negative"}
+	}
+	if r.Thinning < 0 {
+		return &RequestError{Field: "thinning", Reason: "must be non-negative"}
+	}
+	if r.SwapsPerEdge < 0 || math.IsInf(r.SwapsPerEdge, 0) || math.IsNaN(r.SwapsPerEdge) {
+		return &RequestError{Field: "swaps_per_edge", Reason: "must be finite and non-negative"}
+	}
+	for i, d := range r.degrees {
+		if d < 0 {
+			return &RequestError{Field: "degrees", Reason: fmt.Sprintf("degree[%d] = %d is negative", i, d)}
+		}
+	}
+	return nil
+}
+
+// buildTarget materializes the request's target graph. Infeasible
+// specifications (non-graphical sequences, malformed edge lists)
+// surface as *RequestError.
+func (r *Request) buildTarget() (gesmc.Target, error) {
+	wrap := func(field string, err error) error {
+		return &RequestError{Field: field, Reason: err.Error()}
+	}
+	switch r.kind {
+	case targetDegrees:
+		g, err := gesmc.FromDegrees(r.degrees)
+		if err != nil {
+			return nil, wrap("degrees", err)
+		}
+		return g, nil
+	case targetInOut:
+		g, err := gesmc.FromInOutDegrees(r.outDegrees, r.inDegrees)
+		if err != nil {
+			return nil, wrap("out_degrees/in_degrees", err)
+		}
+		return g, nil
+	case targetBipartite:
+		g, err := gesmc.FromBipartiteDegrees(r.left, r.right)
+		if err != nil {
+			return nil, wrap("bipartite_left/bipartite_right", err)
+		}
+		return g, nil
+	case targetEdges:
+		g, err := gesmc.NewGraph(r.edgeNodes(), r.edges)
+		if err != nil {
+			return nil, wrap("edges", err)
+		}
+		return g, nil
+	case targetArcs:
+		g, err := gesmc.NewDiGraph(r.edgeNodes(), r.edges)
+		if err != nil {
+			return nil, wrap("edges", err)
+		}
+		return g, nil
+	}
+	return nil, &RequestError{Field: "target", Reason: "no target specification"}
+}
+
+// edgeNodes resolves the node count of an explicit edge list: the
+// declared count when given, otherwise max endpoint + 1.
+func (r *Request) edgeNodes() int {
+	n := r.nodes
+	for _, e := range r.edges {
+		if int(e[0]) >= n {
+			n = int(e[0]) + 1
+		}
+		if int(e[1]) >= n {
+			n = int(e[1]) + 1
+		}
+	}
+	return n
+}
+
+// samplerOptions converts the request to Sampler options.
+func (r *Request) samplerOptions() []gesmc.Option {
+	opts := []gesmc.Option{
+		gesmc.WithAlgorithm(r.Algorithm),
+		gesmc.WithWorkers(r.Workers),
+		gesmc.WithSeed(r.Seed),
+	}
+	if r.SwapsPerEdge > 0 {
+		opts = append(opts, gesmc.WithSwapsPerEdge(r.SwapsPerEdge))
+	}
+	if r.BurnIn > 0 {
+		opts = append(opts, gesmc.WithBurnIn(r.BurnIn))
+	}
+	if r.Thinning > 0 {
+		opts = append(opts, gesmc.WithThinning(r.Thinning))
+	}
+	return opts
+}
+
+// engineKey identifies a compiled sampler for pooling: two requests
+// share a pooled engine only if the compiled state would be identical —
+// same target specification, algorithm, workers, seed, and chain
+// schedule. Everything is folded into a 64-bit FNV-1a target digest
+// plus the comparable option fields.
+type engineKey struct {
+	targetHash uint64
+	algorithm  gesmc.Algorithm
+	workers    int
+	seed       uint64
+	burnIn     int
+	thinning   int
+	swapsBits  uint64
+}
+
+func (r *Request) engineKey() engineKey {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	// Every slice is length-prefixed: an in-band separator word would
+	// collide with a degree of the same value, letting two different
+	// targets share a pool key.
+	putInts := func(vals []int) {
+		put(uint64(len(vals)))
+		for _, v := range vals {
+			put(uint64(v))
+		}
+	}
+	put(uint64(r.kind))
+	put(uint64(r.nodes))
+	putInts(r.degrees)
+	putInts(r.outDegrees)
+	putInts(r.inDegrees)
+	putInts(r.left)
+	putInts(r.right)
+	put(uint64(len(r.edges)))
+	for _, e := range r.edges {
+		put(uint64(e[0])<<32 | uint64(e[1]))
+	}
+	return engineKey{
+		targetHash: h.Sum64(),
+		algorithm:  r.Algorithm,
+		workers:    r.Workers,
+		seed:       r.Seed,
+		burnIn:     r.BurnIn,
+		thinning:   r.Thinning,
+		swapsBits:  math.Float64bits(r.SwapsPerEdge),
+	}
+}

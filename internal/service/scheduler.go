@@ -1,0 +1,123 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// scheduler is the job admission layer: a weighted, strictly-FIFO
+// semaphore over the service's global worker budget. A request with
+// WithWorkers(P) engines acquires P tokens, so the total parallelism of
+// all running jobs never exceeds the budget regardless of the request
+// mix. Admission control is a bound on the *waiting* line: when
+// queueLimit requests are already parked, further arrivals are rejected
+// immediately with ErrOverloaded instead of building an unbounded
+// backlog (fail fast beats queueing beyond the latency any client
+// would wait).
+//
+// Fairness is strict FIFO: a wide request at the head of the line
+// blocks narrower later arrivals until it gets its tokens. That wastes
+// a little capacity but prevents the starvation a "first fit" policy
+// inflicts on wide requests under a stream of narrow ones.
+type scheduler struct {
+	mu      sync.Mutex
+	free    int
+	budget  int
+	qLimit  int
+	waiters list.List // of *waiter, front = oldest
+
+	depth atomic.Int64 // waiters count, exported as queue_depth
+	busy  atomic.Int64 // tokens currently held, exported as workers_busy
+}
+
+type waiter struct {
+	need  int
+	ready chan struct{} // closed by release when tokens are assigned
+}
+
+func newScheduler(budget, queueLimit int) *scheduler {
+	return &scheduler{free: budget, budget: budget, qLimit: queueLimit}
+}
+
+// acquire obtains need worker tokens, waiting FIFO behind earlier
+// requests. It fails fast with ErrOverloaded when the waiting line is
+// full, with a *RequestError when need can never be satisfied, and
+// with ctx.Err() if the caller's context expires while queued.
+func (s *scheduler) acquire(ctx context.Context, need int) error {
+	if need < 1 {
+		need = 1
+	}
+	if need > s.budget {
+		return &RequestError{Field: "workers",
+			Reason: fmt.Sprintf("request needs %d workers, budget is %d", need, s.budget)}
+	}
+	s.mu.Lock()
+	if s.waiters.Len() == 0 && s.free >= need {
+		s.free -= need
+		s.mu.Unlock()
+		s.busy.Add(int64(need))
+		return nil
+	}
+	if s.waiters.Len() >= s.qLimit {
+		s.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{need: need, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.depth.Store(int64(s.waiters.Len()))
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		s.busy.Add(int64(need))
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// release granted our tokens in the race window: take the
+			// cancellation, but hand the tokens on.
+			s.mu.Unlock()
+			s.busy.Add(int64(need))
+			s.release(need)
+		default:
+			s.waiters.Remove(elem)
+			s.depth.Store(int64(s.waiters.Len()))
+			// Our departure may unblock a narrower successor.
+			s.grantLocked()
+			s.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns need tokens and hands them to queued waiters in FIFO
+// order.
+func (s *scheduler) release(need int) {
+	if need < 1 {
+		need = 1
+	}
+	s.busy.Add(int64(-need))
+	s.mu.Lock()
+	s.free += need
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked assigns free tokens to the front of the line for as long
+// as the head waiter fits.
+func (s *scheduler) grantLocked() {
+	for s.waiters.Len() > 0 {
+		w := s.waiters.Front().Value.(*waiter)
+		if s.free < w.need {
+			break
+		}
+		s.free -= w.need
+		s.waiters.Remove(s.waiters.Front())
+		close(w.ready)
+	}
+	s.depth.Store(int64(s.waiters.Len()))
+}

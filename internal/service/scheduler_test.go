@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedulerImmediateGrant(t *testing.T) {
+	s := newScheduler(4, 2)
+	if err := s.acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.busy.Load(); got != 4 {
+		t.Fatalf("busy=%d", got)
+	}
+	s.release(3)
+	s.release(1)
+	if got := s.busy.Load(); got != 0 {
+		t.Fatalf("busy=%d after release", got)
+	}
+}
+
+func TestSchedulerRejectsOverBudgetRequest(t *testing.T) {
+	s := newScheduler(2, 8)
+	err := s.acquire(context.Background(), 3)
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err=%v, want ErrBadRequest", err)
+	}
+}
+
+func TestSchedulerOverload(t *testing.T) {
+	s := newScheduler(1, 1)
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits the queue.
+	queued := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		queued <- s.acquire(context.Background(), 1)
+	}()
+	<-ready
+	waitFor(t, func() bool { return s.depth.Load() == 1 })
+	// The queue is full: the next arrival is rejected immediately.
+	if err := s.acquire(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err=%v, want ErrOverloaded", err)
+	}
+	s.release(1)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	s.release(1)
+}
+
+func TestSchedulerFIFOBlocksNarrowBehindWide(t *testing.T) {
+	s := newScheduler(4, 8)
+	if err := s.acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	// A wide request (needs 4) queues; 1 token is still free, but the
+	// narrow request behind it must NOT overtake.
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	grab := func(id, need int) {
+		defer wg.Done()
+		if err := s.acquire(context.Background(), need); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go grab(1, 4)
+	waitFor(t, func() bool { return s.depth.Load() == 1 })
+	wg.Add(1)
+	go grab(2, 1)
+	waitFor(t, func() bool { return s.depth.Load() == 2 })
+
+	s.release(3) // 4 free: the wide head runs first
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 1
+	})
+	mu.Lock()
+	first := order[0]
+	mu.Unlock()
+	if first != 1 {
+		t.Fatalf("narrow request overtook the wide head (order %v)", order)
+	}
+	s.release(4)
+	wg.Wait()
+	s.release(1)
+}
+
+func TestSchedulerCancelWhileQueued(t *testing.T) {
+	s := newScheduler(1, 4)
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- s.acquire(ctx, 1) }()
+	waitFor(t, func() bool { return s.depth.Load() == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if s.depth.Load() != 0 {
+		t.Fatalf("queue depth %d after cancellation", s.depth.Load())
+	}
+	// The canceled waiter must not leak its (never-granted) tokens.
+	s.release(1)
+	if err := s.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.release(1)
+}
+
+// waitFor polls cond for up to 5 seconds, which keeps the scheduler
+// tests free of bare sleeps under -race on slow CI.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

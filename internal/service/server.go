@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"gesmc/wire"
+)
+
+// maxRequestBody bounds POST bodies (64 MiB holds explicit edge lists
+// of tens of millions of edges; degree-sequence requests are tiny).
+const maxRequestBody = 64 << 20
+
+// NewHandler wraps the service in its HTTP API:
+//
+//	POST /v1/sample   — stream an ensemble as NDJSON, one line per
+//	                    sample, flushed as produced
+//	GET  /v1/healthz  — liveness (503 while draining)
+//	GET  /v1/metrics  — counters (JSON)
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
+		handleSample(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := svc.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	return mux
+}
+
+// statusFor maps service errors to HTTP statuses for failures that
+// precede the first streamed line.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client's own cancellation or timeout_ms deadline, not a
+		// server fault: a 5xx here would trip retry policies against
+		// an already-loaded server.
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func handleSample(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var wreq wire.SampleRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&wreq); err != nil {
+		writeJSON(w, http.StatusBadRequest, wire.Error{Error: "malformed JSON: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	req, err := FromWire(&wreq)
+	if err != nil {
+		writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
+		return
+	}
+
+	// The NDJSON stream: headers go out with the first line, so
+	// pre-stream failures (overload, infeasible degree sequence) still
+	// get a proper status code. After the first line the status is
+	// committed and terminal errors travel in-band as error lines
+	// (Service.Sample emits them).
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streaming := false
+	err = svc.Sample(r.Context(), req, func(ln wire.Line) error {
+		if !streaming {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			streaming = true
+		}
+		if err := enc.Encode(ln); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil && !streaming {
+		writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

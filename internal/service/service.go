@@ -1,0 +1,257 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"gesmc"
+	"gesmc/wire"
+)
+
+// Config sizes the service. Zero values select the defaults.
+type Config struct {
+	// WorkerBudget is the global parallelism bound: the sum of the
+	// Workers of all running jobs never exceeds it. Default:
+	// GOMAXPROCS.
+	WorkerBudget int
+	// QueueLimit bounds the admission queue; arrivals beyond it are
+	// rejected with ErrOverloaded. Default: 64.
+	QueueLimit int
+	// PoolCapacity bounds the engine pool (idle compiled samplers kept
+	// for reuse); 0 disables pooling. Default: 8. Use NoPooling for an
+	// explicit zero.
+	PoolCapacity int
+	// NoPooling disables the engine pool (every request compiles and
+	// closes its own sampler); it exists because PoolCapacity == 0
+	// means "default".
+	NoPooling bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.PoolCapacity <= 0 {
+		c.PoolCapacity = 8
+	}
+	if c.NoPooling {
+		c.PoolCapacity = 0
+	}
+	return c
+}
+
+// Service executes sampling jobs: validation, admission against the
+// worker budget, engine checkout (pool hit) or compilation (miss),
+// NDJSON-friendly streaming via an emit callback, and check-in. It is
+// safe for concurrent use; Shutdown drains in-flight jobs and closes
+// every pooled worker gang.
+type Service struct {
+	cfg   Config
+	sched *scheduler
+	pool  *enginePool
+	met   serviceMetrics
+
+	mu       sync.Mutex
+	closing  bool
+	inflight int
+	drained  chan struct{}
+}
+
+// New builds a Service from cfg (zero value = defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		sched:   newScheduler(cfg.WorkerBudget, cfg.QueueLimit),
+		pool:    newEnginePool(cfg.PoolCapacity),
+		met:     serviceMetrics{start: time.Now()},
+		drained: make(chan struct{}),
+	}
+}
+
+// begin registers an in-flight job, refusing new work once Shutdown
+// has started.
+func (s *Service) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return ErrShuttingDown
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *Service) end() {
+	s.mu.Lock()
+	s.inflight--
+	if s.closing && s.inflight == 0 {
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// errCode classifies a terminal error for the wire Code field.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, gesmc.ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	default:
+		return "internal"
+	}
+}
+
+// Sample runs one job: it validates req, waits for req.Workers tokens
+// of the global budget (FIFO, bounded queue), obtains an engine from
+// the pool or compiles one, and streams req.Samples ensemble draws
+// through emit as they are produced — emit is called once per sample
+// with at most one sample buffered, so a slow consumer backpressures
+// the chain instead of accumulating the ensemble in memory.
+//
+// A nil return means the full ensemble was delivered. On a terminal
+// error after the first delivered sample, Sample additionally emits a
+// final error Line (best effort) so stream consumers see the
+// termination in-band. The engine is returned to the pool in every
+// case — cancellation stops chains at superstep boundaries, leaving
+// the sampler valid for the next request.
+func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line) error) error {
+	if err := s.begin(); err != nil {
+		s.met.requestsRejected.Add(1)
+		return err
+	}
+	defer s.end()
+
+	if err := req.Validate(); err != nil {
+		s.met.requestsFailed.Add(1)
+		return err
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+
+	// Admission: FIFO behind earlier jobs, bounded waiting line.
+	if err := s.sched.acquire(ctx, req.Workers); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.met.requestsRejected.Add(1)
+		} else {
+			s.met.requestsFailed.Add(1)
+		}
+		return err
+	}
+	defer s.sched.release(req.Workers)
+	s.met.requestsTotal.Add(1)
+	s.met.requestsInflight.Add(1)
+	defer s.met.requestsInflight.Add(-1)
+
+	// Engine: pool hit skips target realization and sampler
+	// compilation entirely.
+	key := req.engineKey()
+	sampler, hit := s.pool.checkout(key)
+	if !hit {
+		target, err := req.buildTarget()
+		if err != nil {
+			s.met.requestsFailed.Add(1)
+			return err
+		}
+		sampler, err = gesmc.NewSampler(target, req.samplerOptions()...)
+		if err != nil {
+			s.met.requestsFailed.Add(1)
+			return &RequestError{Field: "options", Reason: err.Error()}
+		}
+	}
+	defer s.pool.checkin(key, sampler)
+
+	// Stream. The derived cancel tears the producing goroutine down
+	// when the consumer fails mid-stream; the range always runs to
+	// channel close, which is the producer's exit — only then may the
+	// sampler go back into the pool (it is not safe for concurrent
+	// use, and the producer advances it).
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var terminal error
+	delivered := 0
+	for smp := range sampler.Ensemble(cctx, req.Samples) {
+		if terminal != nil {
+			continue // draining after a terminal error
+		}
+		if smp.Err != nil {
+			terminal = smp.Err
+			// In-band error marker, but only mid-stream: a failure
+			// before the first sample surfaces as the return error, so
+			// the HTTP layer can still send a real status code.
+			if delivered > 0 {
+				emit(wire.Line{Index: smp.Index, Error: smp.Err.Error(), Code: errCode(smp.Err)})
+			}
+			continue
+		}
+		s.met.observeSample(smp.Stats.Supersteps, smp.Stats.Attempted)
+		if err := emit(wire.FromSample(smp)); err != nil {
+			terminal = err
+			cancel()
+			continue
+		}
+		delivered++
+	}
+	if terminal != nil {
+		s.met.requestsFailed.Add(1)
+	}
+	return terminal
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() wire.Metrics {
+	return s.met.snapshot(s.sched, s.pool)
+}
+
+// Health reports liveness ("ok", or "draining" once Shutdown started).
+func (s *Service) Health() wire.Health {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	status := "ok"
+	if closing {
+		status = "draining"
+	}
+	return wire.Health{Status: status, UptimeMS: time.Since(s.met.start).Milliseconds()}
+}
+
+// Shutdown stops admitting jobs, waits for in-flight jobs to finish
+// (or ctx to expire), then closes every pooled sampler, parking all
+// persistent worker gangs. It is idempotent; concurrent calls share
+// the drain.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closing {
+		s.closing = true
+		if s.inflight == 0 {
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.pool.close()
+	return err
+}

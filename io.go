@@ -1,0 +1,60 @@
+package gesmc
+
+import (
+	"fmt"
+	"io"
+
+	"gesmc/internal/digraph"
+	"gesmc/internal/graph"
+)
+
+// WriteEdgeList writes a sampling target as a plain text edge list, the
+// package's wire format for graphs on disk and between processes
+// (cmd/gesmc, cmd/gesmcd, and the service layer all speak it).
+// Undirected graphs are written as an "n m" header followed by one
+// "u v" line per edge; directed graphs additionally lead with a
+// "% directed" marker line and list (tail, head) pairs, so files are
+// self-describing. The round-trip partners are ReadEdgeList and
+// ReadArcList.
+func WriteEdgeList(w io.Writer, t Target) error {
+	switch g := t.(type) {
+	case *Graph:
+		return graph.WriteEdgeList(w, g.g)
+	case *DiGraph:
+		return digraph.WriteArcList(w, g.g)
+	default:
+		return fmt.Errorf("%w: WriteEdgeList target %T", ErrNilTarget, t)
+	}
+}
+
+// ReadEdgeList parses an undirected text edge list (the format written
+// by WriteEdgeList for *Graph). It tolerates the common loose variants:
+// '#'/'%' comment lines, a missing "n m" header (node count inferred),
+// directed duplicates, loops and multi-edges — the latter are dropped,
+// mirroring the paper's preprocessing of network-repository graphs.
+// A file leading with the "% directed" marker is rejected (it is an
+// arc list; read it with ReadArcList — collapsing it silently would
+// preserve the wrong degree sequence). ReadEdgeList is the function
+// form of ReadGraph; both share one parser.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadGraph(r)
+}
+
+// ReadArcList parses a directed text arc list (the format written by
+// WriteEdgeList for *DiGraph), with the same tolerance for comments,
+// missing headers, loops and duplicate arcs. Unlike ReadEdgeList,
+// (u,v) and (v,u) are distinct arcs and both survive.
+func ReadArcList(r io.Reader) (*DiGraph, error) {
+	g, err := digraph.ReadArcList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DiGraph{g: g}, nil
+}
+
+// Write writes the digraph as a text arc list with a "% directed"
+// marker and an "n m" header, the directed counterpart of
+// (*Graph).Write.
+func (g *DiGraph) Write(w io.Writer) error {
+	return digraph.WriteArcList(w, g.g)
+}

@@ -126,6 +126,7 @@ type Sampler struct {
 	steps    int
 	samples  int
 	burned   bool
+	closed   bool
 	total    engineStats
 }
 
@@ -161,11 +162,22 @@ func NewSampler(t Target, opts ...Option) (*Sampler, error) {
 
 // Close releases the sampler's persistent worker gang (the parallel
 // algorithms park P-1 long-lived goroutines between supersteps). The
-// sampler must not be used afterwards; the target keeps its current
-// state. Closing is optional — a leaked sampler's gang is reclaimed by
-// a finalizer once the sampler is collected — but deterministic release
-// is good hygiene for callers that compile many samplers.
-func (s *Sampler) Close() { s.eng.close() }
+// target keeps its current state. Close is idempotent; after the first
+// call, Step, Sample, Ensemble, and Collect return ErrClosed instead of
+// touching the released gang. Closing is optional — a leaked sampler's
+// gang is reclaimed by a finalizer once the sampler is collected — but
+// deterministic release is good hygiene for callers that compile many
+// samplers (engine pools close evicted samplers through this path).
+func (s *Sampler) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.eng.close()
+}
+
+// Closed reports whether Close has been called.
+func (s *Sampler) Closed() bool { return s.closed }
 
 // Algorithm returns the name of the chain the sampler runs.
 func (s *Sampler) Algorithm() string { return s.algName }
@@ -189,6 +201,9 @@ func (s *Sampler) Stats() Stats { return s.total.toStats(s.algName) }
 // advance moves the chain k supersteps, merging counters exactly and
 // firing the progress callback per superstep when registered.
 func (s *Sampler) advance(ctx context.Context, k int) (Stats, error) {
+	if s.closed {
+		return Stats{}, ErrClosed
+	}
 	if k < 0 {
 		return Stats{}, fmt.Errorf("%w: got %d", ErrInvalidSupersteps, k)
 	}

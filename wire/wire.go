@@ -1,0 +1,232 @@
+// Package wire defines the JSON wire format of the gesmc sampling
+// service: the request body of POST /v1/sample, the NDJSON sample lines
+// the server streams back, and the health/metrics documents. It is the
+// shared vocabulary of the server (internal/service), the daemon
+// (cmd/gesmcd), the CLI's -format ndjson mode (cmd/gesmc), and client
+// code (examples/service); keeping it public lets external callers
+// marshal requests and decode streams with the exact types the server
+// uses.
+//
+// A sampling response is NDJSON ("application/x-ndjson"): one Line per
+// drawn sample, encoded and flushed as the engine produces it, so a
+// client can consume an ensemble incrementally and the server never
+// buffers more than one sample. A terminal error mid-stream is one
+// final Line carrying Error/Code and no edges.
+package wire
+
+import (
+	"encoding/json"
+	"io"
+
+	"gesmc"
+)
+
+// SampleRequest is the body of POST /v1/sample. Exactly one target
+// spec must be set:
+//
+//   - Degrees — an undirected degree sequence, realized with
+//     Havel-Hakimi (gesmc.FromDegrees);
+//   - OutDegrees+InDegrees — a directed bi-sequence, realized with
+//     Kleitman-Wang (gesmc.FromInOutDegrees);
+//   - BipartiteLeft+BipartiteRight — bipartite degree sequences
+//     (gesmc.FromBipartiteDegrees);
+//   - Edges (+Nodes, +Directed) — an explicit edge (or arc) list.
+//
+// The remaining fields mirror the Sampler options; zero values select
+// the package defaults (ParGlobalES, 1 worker, burn-in from
+// SwapsPerEdge, thinning = burn-in, 1 sample).
+type SampleRequest struct {
+	Degrees        []int `json:"degrees,omitempty"`
+	OutDegrees     []int `json:"out_degrees,omitempty"`
+	InDegrees      []int `json:"in_degrees,omitempty"`
+	BipartiteLeft  []int `json:"bipartite_left,omitempty"`
+	BipartiteRight []int `json:"bipartite_right,omitempty"`
+
+	// Edges is an explicit target edge list; Nodes (optional) declares
+	// the node count when isolated trailing nodes matter, and Directed
+	// marks the pairs as (tail, head) arcs.
+	Edges    [][2]uint32 `json:"edges,omitempty"`
+	Nodes    int         `json:"nodes,omitempty"`
+	Directed bool        `json:"directed,omitempty"`
+
+	// Algorithm is a gesmc.ParseAlgorithm name ("" = ParGlobalES).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers is the parallelism degree P of the compiled engine; it
+	// also counts against the service's global worker budget.
+	Workers int `json:"workers,omitempty"`
+	// Seed makes the request deterministic: against a cold engine, the
+	// (target, options, seed) tuple fully determines every sample.
+	Seed uint64 `json:"seed,omitempty"`
+	// Samples is the ensemble size (0 = 1).
+	Samples int `json:"samples,omitempty"`
+	// BurnIn / Thinning / SwapsPerEdge resolve exactly like the
+	// corresponding Sampler options.
+	BurnIn       int     `json:"burn_in,omitempty"`
+	Thinning     int     `json:"thinning,omitempty"`
+	SwapsPerEdge float64 `json:"swaps_per_edge,omitempty"`
+	// TimeoutMS bounds the whole request, including queue wait; 0
+	// means no deadline beyond the server's own limits.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Stats is the JSON form of gesmc.Stats.
+type Stats struct {
+	Algorithm          string  `json:"algorithm"`
+	Supersteps         int     `json:"supersteps"`
+	Attempted          int64   `json:"attempted"`
+	Accepted           int64   `json:"accepted"`
+	AvgRounds          float64 `json:"avg_rounds,omitempty"`
+	MaxRounds          int     `json:"max_rounds,omitempty"`
+	LateRoundsFraction float64 `json:"late_rounds_fraction,omitempty"`
+	DurationNS         int64   `json:"duration_ns"`
+}
+
+// FromStats converts sampler statistics to their wire form.
+func FromStats(st gesmc.Stats) Stats {
+	return Stats{
+		Algorithm:          st.Algorithm,
+		Supersteps:         st.Supersteps,
+		Attempted:          st.Attempted,
+		Accepted:           st.Accepted,
+		AvgRounds:          st.AvgRounds,
+		MaxRounds:          st.MaxRounds,
+		LateRoundsFraction: st.LateRoundsFraction,
+		DurationNS:         st.Duration.Nanoseconds(),
+	}
+}
+
+// Line is one NDJSON line of a sampling response: either a drawn
+// sample (Edges + Stats) or, terminally, an error marker (Error/Code
+// set, no edges).
+type Line struct {
+	// Index is the sample's position in the ensemble, from 0.
+	Index int `json:"index"`
+	// Nodes is the node count of the sampled graph.
+	Nodes int `json:"nodes,omitempty"`
+	// Directed marks Edges as (tail, head) arcs.
+	Directed bool `json:"directed,omitempty"`
+	// Edges is the sampled edge (or arc) list.
+	Edges [][2]uint32 `json:"edges,omitempty"`
+	// Stats covers the supersteps that produced this sample.
+	Stats *Stats `json:"stats,omitempty"`
+	// Error and Code report early termination (the stream ends after
+	// an error line). Code is a stable machine-readable classifier
+	// ("canceled", "deadline", "closed", "internal").
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// FromSample converts one ensemble draw to its wire line. Terminal
+// error samples map to error lines with an empty edge list.
+func FromSample(smp gesmc.Sample) Line {
+	ln := Line{Index: smp.Index}
+	switch {
+	case smp.Err != nil:
+		ln.Error = smp.Err.Error()
+	case smp.Graph != nil:
+		ln.Nodes = smp.Graph.N()
+		ln.Edges = smp.Graph.Edges()
+	case smp.DiGraph != nil:
+		ln.Nodes = smp.DiGraph.N()
+		ln.Directed = true
+		ln.Edges = smp.DiGraph.Arcs()
+	}
+	if smp.Err == nil {
+		st := FromStats(smp.Stats)
+		ln.Stats = &st
+	}
+	return ln
+}
+
+// Graph rebuilds the sample line's graph: (*gesmc.Graph, nil) for
+// undirected lines, (nil, *gesmc.DiGraph) for directed ones.
+func (ln *Line) Graph() (*gesmc.Graph, *gesmc.DiGraph, error) {
+	if ln.Directed {
+		dg, err := gesmc.NewDiGraph(ln.Nodes, ln.Edges)
+		return nil, dg, err
+	}
+	g, err := gesmc.NewGraph(ln.Nodes, ln.Edges)
+	return g, nil, err
+}
+
+// Error is the JSON body of a non-streaming error response (a request
+// rejected before the first sample line): HTTP 400 for invalid
+// requests, 429 when the admission queue is full, 503 during shutdown.
+type Error struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	Status   string `json:"status"` // "ok" | "draining"
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+// PoolMetrics describes the engine pool.
+type PoolMetrics struct {
+	// Engines is the number of idle compiled samplers currently pooled.
+	Engines int `json:"engines"`
+	// Capacity is the eviction threshold.
+	Capacity int `json:"capacity"`
+	// Hits / Misses count checkouts that reused a pooled engine vs.
+	// compiled a fresh one; Evictions counts LRU closes.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// HitRate is Hits / (Hits + Misses), 0 when no checkouts happened.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Metrics is the body of GET /v1/metrics.
+type Metrics struct {
+	// RequestsTotal counts accepted sampling requests; Rejected counts
+	// admission-control overload rejections, Failed counts requests
+	// terminated by validation or runtime errors (cancellation
+	// included).
+	RequestsTotal    int64 `json:"requests_total"`
+	RequestsInflight int64 `json:"requests_inflight"`
+	RequestsRejected int64 `json:"requests_rejected"`
+	RequestsFailed   int64 `json:"requests_failed"`
+	// QueueDepth is the number of requests waiting for worker-budget
+	// tokens; WorkerBudget/WorkersBusy account those tokens.
+	QueueDepth   int64 `json:"queue_depth"`
+	WorkerBudget int   `json:"worker_budget"`
+	WorkersBusy  int64 `json:"workers_busy"`
+
+	Pool PoolMetrics `json:"pool"`
+
+	// SamplesTotal counts streamed sample lines; SuperstepsTotal and
+	// SwitchesTotal aggregate engine work across all requests, and
+	// SuperstepsPerSec is SuperstepsTotal over the uptime.
+	SamplesTotal     int64   `json:"samples_total"`
+	SuperstepsTotal  int64   `json:"supersteps_total"`
+	SwitchesTotal    int64   `json:"switches_total"`
+	SuperstepsPerSec float64 `json:"supersteps_per_sec"`
+	UptimeMS         int64   `json:"uptime_ms"`
+}
+
+// EncodeLine writes one NDJSON line (json.Encoder terminates each
+// Encode with '\n', which is exactly the framing).
+func EncodeLine(w io.Writer, ln Line) error {
+	return json.NewEncoder(w).Encode(ln)
+}
+
+// DecodeLines decodes an NDJSON stream, invoking fn per line until EOF,
+// a malformed line, or a non-nil fn result. It is the client-side
+// consumption loop: examples/service and the CLI tests use it.
+func DecodeLines(r io.Reader, fn func(Line) error) error {
+	dec := json.NewDecoder(r)
+	for {
+		var ln Line
+		if err := dec.Decode(&ln); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := fn(ln); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gesmc"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	g, err := gesmc.NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := gesmc.Sample{Index: 3, Graph: g, Stats: gesmc.Stats{Algorithm: "ParGlobalES", Supersteps: 7}}
+	var buf bytes.Buffer
+	if err := EncodeLine(&buf, FromSample(smp)); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Fatalf("one line expected, got %d newlines", n)
+	}
+	var got []Line
+	if err := DecodeLines(&buf, func(ln Line) error { got = append(got, ln); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Index != 3 || got[0].Stats == nil || got[0].Stats.Supersteps != 7 {
+		t.Fatalf("decoded %+v", got)
+	}
+	back, _, err := got[0].Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 3 {
+		t.Fatalf("rebuilt n=%d m=%d", back.N(), back.M())
+	}
+}
+
+func TestLineDirected(t *testing.T) {
+	dg, err := gesmc.NewDiGraph(3, [][2]uint32{{0, 1}, {1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := FromSample(gesmc.Sample{DiGraph: dg})
+	if !ln.Directed || len(ln.Edges) != 3 {
+		t.Fatalf("directed line: %+v", ln)
+	}
+	_, back, err := ln.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || back.M() != 3 {
+		t.Fatalf("rebuilt digraph: %+v", back)
+	}
+}
+
+func TestLineError(t *testing.T) {
+	ln := FromSample(gesmc.Sample{Index: 2, Err: gesmc.ErrClosed})
+	if ln.Error == "" || ln.Stats != nil || len(ln.Edges) != 0 {
+		t.Fatalf("error line: %+v", ln)
+	}
+}
