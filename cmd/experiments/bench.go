@@ -49,6 +49,93 @@ type benchReport struct {
 	// service layer's pooled engines against cold per-request sampler
 	// construction (see service_bench.go).
 	ServiceThroughput *serviceThroughput `json:"service_throughput"`
+	// ConstrainedOverhead measures the cost of the connectivity
+	// constraint on ParGlobalES: per-superstep certification plus
+	// occasional rollbacks, against the unconstrained chain on the
+	// same (connected) workload.
+	ConstrainedOverhead *constrainedOverhead `json:"constrained_overhead"`
+}
+
+// constrainedOverhead is the bench artifact of the constraint layer:
+// ns/switch with and without Connected(), their ratio, and the
+// constrained chain's rejection behaviour.
+type constrainedOverhead struct {
+	Nodes                    int     `json:"nodes"`
+	Edges                    int     `json:"edges"`
+	NsPerSwitchConstrained   float64 `json:"ns_per_switch_constrained"`
+	NsPerSwitchUnconstrained float64 `json:"ns_per_switch_unconstrained"`
+	// Overhead is constrained / unconstrained ns per switch.
+	Overhead float64 `json:"overhead"`
+	// RejectionRate is 1 - accepted/attempted of the constrained run;
+	// ConstraintVetoes isolates the rejections charged to the
+	// constraint layer (connectivity vetoes and rollbacks).
+	RejectionRate    float64 `json:"rejection_rate"`
+	ConstraintVetoes int64   `json:"constraint_vetoes"`
+	EscapeMoves      int64   `json:"escape_moves"`
+}
+
+// benchConstrained times ParGlobalES with and without the connectivity
+// constraint on a grid graph (connected, bridge-free interior — the
+// constraint's fast path dominates, so this measures certification
+// overhead rather than pathological rollback storms).
+func benchConstrained(opt options, supersteps int) (*constrainedOverhead, error) {
+	side := 96
+	if opt.quick {
+		side = 32
+	}
+	grid := gesmc.GenerateGrid(side, side)
+	co := &constrainedOverhead{Nodes: grid.N(), Edges: grid.M()}
+
+	run := func(connected bool) (float64, gesmc.Stats, error) {
+		opts := []gesmc.Option{
+			gesmc.WithAlgorithm(gesmc.ParGlobalES),
+			gesmc.WithWorkers(1),
+			gesmc.WithSeed(opt.seed),
+		}
+		if connected {
+			opts = append(opts, gesmc.WithConstraint(gesmc.Connected()))
+		}
+		s, err := gesmc.NewSampler(grid.Clone(), opts...)
+		if err != nil {
+			return 0, gesmc.Stats{}, err
+		}
+		defer s.Close()
+		if _, err := s.Step(1); err != nil {
+			return 0, gesmc.Stats{}, err
+		}
+		best := 0.0
+		for w := 0; w < benchWindows; w++ {
+			st, err := s.Step(supersteps)
+			if err != nil {
+				return 0, gesmc.Stats{}, err
+			}
+			ns := float64(st.Duration.Nanoseconds()) / float64(st.Attempted)
+			if w == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best, s.Stats(), nil
+	}
+
+	var err error
+	co.NsPerSwitchUnconstrained, _, err = run(false)
+	if err != nil {
+		return nil, err
+	}
+	var st gesmc.Stats
+	co.NsPerSwitchConstrained, st, err = run(true)
+	if err != nil {
+		return nil, err
+	}
+	co.Overhead = co.NsPerSwitchConstrained / co.NsPerSwitchUnconstrained
+	if st.Attempted > 0 {
+		co.RejectionRate = 1 - float64(st.Accepted)/float64(st.Attempted)
+	}
+	co.ConstraintVetoes = st.ConstraintVetoes
+	co.EscapeMoves = st.EscapeMoves
+	fmt.Printf("\nconstrained overhead (ParGlobalES, %dx%d grid): %.1f -> %.1f ns/switch (%.2fx), rejection %.3f\n",
+		side, side, co.NsPerSwitchUnconstrained, co.NsPerSwitchConstrained, co.Overhead, co.RejectionRate)
+	return co, nil
 }
 
 // benchOut is overridable for tests.
@@ -131,6 +218,12 @@ func bench(opt options) error {
 		return err
 	}
 	report.ServiceThroughput = st
+
+	co, err := benchConstrained(opt, supersteps)
+	if err != nil {
+		return err
+	}
+	report.ConstrainedOverhead = co
 
 	out := benchOut
 	if out == "" {

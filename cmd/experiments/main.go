@@ -80,6 +80,15 @@ func main() {
 		runOne("Extension: one-shot vs reused-sampler ensemble throughput", ensembleCmp)
 	case "bench":
 		runOne("Benchmark: ns/switch of the unified-kernel chains", bench)
+	case "verifyconn":
+		// Stream verifier (no banner: used in pipelines): reads the
+		// sampling service's NDJSON from stdin and fails unless every
+		// sample line decodes to a connected graph.
+		if err := verifyConn(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyconn: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "all":
 		runOne("Figure 2", fig2)
 		runOne("Figure 3", fig3)
@@ -98,5 +107,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|all> [-scale f] [-seed n] [-workers n] [-quick]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|verifyconn|all> [-scale f] [-seed n] [-workers n] [-quick]`)
 }

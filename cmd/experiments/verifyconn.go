@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"gesmc/wire"
+)
+
+// verifyConn consumes a sampling-service NDJSON stream and verifies
+// every sample line decodes to a connected (weakly connected for
+// directed lines), simple graph. It is the CI smoke check behind the
+// connected-ensemble request: jq can count lines but cannot decide
+// connectivity, so the check lives here, on the same public codecs
+// clients use. Prints a one-line summary on success; any error line,
+// undecodable line, or disconnected sample fails the run.
+func verifyConn(r io.Reader, w io.Writer) error {
+	lines := 0
+	err := wire.DecodeLines(r, func(ln wire.Line) error {
+		if ln.Error != "" {
+			return fmt.Errorf("line %d: in-band error (%s): %s", lines, ln.Code, ln.Error)
+		}
+		g, dg, err := ln.Graph()
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lines, err)
+		}
+		switch {
+		case g != nil:
+			if err := g.CheckSimple(); err != nil {
+				return fmt.Errorf("line %d: %w", lines, err)
+			}
+			if !g.IsConnected() {
+				size, comps := g.LargestComponent()
+				return fmt.Errorf("line %d: disconnected sample (%d components, largest %d/%d nodes)",
+					lines, comps, size, g.N())
+			}
+		case dg != nil:
+			if err := dg.CheckSimple(); err != nil {
+				return fmt.Errorf("line %d: %w", lines, err)
+			}
+			if !dg.IsConnected() {
+				size, comps := dg.LargestComponent()
+				return fmt.Errorf("line %d: weakly disconnected sample (%d components, largest %d/%d nodes)",
+					lines, comps, size, dg.N())
+			}
+		}
+		lines++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("no sample lines on stdin")
+	}
+	fmt.Fprintf(w, "verifyconn: %d samples, all connected\n", lines)
+	return nil
+}

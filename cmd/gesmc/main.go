@@ -13,7 +13,12 @@
 //	gesmc -in graph.txt -swaps 30 -seed 7 -out shuffled.txt -metrics
 //	gesmc -in arcs.txt -directed -samples 10 -format ndjson
 //	gesmc -in graph.txt -samples 100 -thinning 4 -out 'sample-%d.txt'
+//	gesmc -in graph.txt -connected -samples 50 -format ndjson -stats
 //	cat graph.txt | gesmc -in - -samples 5 -format ndjson | jq .stats.attempted
+//
+// With -connected, sampling is restricted to connected graphs (the
+// connectivity-preserving null model): the input must be connected,
+// and every emitted sample is.
 package main
 
 import (
@@ -43,10 +48,11 @@ func main() {
 		steps    = flag.Int("supersteps", 0, "explicit burn-in superstep count (overrides -swaps)")
 		samples  = flag.Int("samples", 1, "number of thinned samples to draw through one reused engine")
 		thinning = flag.Int("thinning", 0, "supersteps between samples (0 = same as burn-in)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		stats    = flag.Bool("stats", false, "print run statistics")
-		metrics  = flag.Bool("metrics", false, "print graph metrics before and after (undirected targets)")
-		prefetch = flag.Bool("prefetch", true, "enable hash-bucket pre-touch pipeline")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		stats     = flag.Bool("stats", false, "print run statistics")
+		metrics   = flag.Bool("metrics", false, "print graph metrics before and after (undirected targets)")
+		prefetch  = flag.Bool("prefetch", true, "enable hash-bucket pre-touch pipeline")
+		connected = flag.Bool("connected", false, "constrain sampling to connected graphs (the input must be connected)")
 	)
 	flag.Parse()
 
@@ -74,6 +80,9 @@ func main() {
 	}
 	if *thinning > 0 {
 		opts = append(opts, gesmc.WithThinning(*thinning))
+	}
+	if *connected {
+		opts = append(opts, gesmc.WithConstraint(gesmc.Connected()))
 	}
 	sampler, err := gesmc.NewSampler(target, opts...)
 	if err != nil {
@@ -184,9 +193,14 @@ func openNDJSON(outPath, format string) (io.Writer, func() error, error) {
 
 func printStats(st gesmc.Stats) {
 	fmt.Fprintf(os.Stderr,
-		"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f rounds(avg=%.2f,max=%d) time=%v\n",
+		"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f rounds(avg=%.2f,max=%d) time=%v",
 		st.Algorithm, st.Supersteps, st.Attempted, st.Accepted,
 		float64(st.Accepted)/float64(st.Attempted), st.AvgRounds, st.MaxRounds, st.Duration)
+	if st.ConstraintVetoes > 0 || st.EscapeAttempts > 0 {
+		fmt.Fprintf(os.Stderr, " constraint(vetoed=%d escapes=%d/%d)",
+			st.ConstraintVetoes, st.EscapeMoves, st.EscapeAttempts)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func writeTarget(path string, t gesmc.Target) error {

@@ -80,6 +80,25 @@ func (g *DiGraph) InDegrees() []int {
 	return in
 }
 
+// ConnectedComponents returns the number of weakly connected
+// components — components of the underlying undirected graph, the
+// connectivity notion the directed constraint layer preserves.
+func (g *DiGraph) ConnectedComponents() int {
+	c, _ := digraph.ConnectedComponents(g.g)
+	return c
+}
+
+// IsConnected reports whether the digraph is weakly connected.
+func (g *DiGraph) IsConnected() bool {
+	return g.ConnectedComponents() <= 1
+}
+
+// LargestComponent returns the node count of the largest weakly
+// connected component and the total number of components.
+func (g *DiGraph) LargestComponent() (size, components int) {
+	return graph.LargestOfLabels(digraph.ConnectedComponents(g.g))
+}
+
 // Clone returns a deep copy.
 func (g *DiGraph) Clone() *DiGraph { return &DiGraph{g: g.g.Clone()} }
 

@@ -72,11 +72,31 @@
 // full burn-in, which (together with engine reuse) is where the
 // ensemble throughput win over repeated one-shot runs comes from.
 //
+// Constrained sampling restricts the state space beyond the degree
+// sequence (the null models of Milo et al. and Tabourier et al.):
+//
+//	s, err := gesmc.NewSampler(g, gesmc.WithConstraint(gesmc.Connected()))
+//
+// samples only connected realizations — every Ensemble draw is
+// connected, with disconnecting switches vetoed (sequential chains,
+// via an incremental spanning-forest certificate) or rolled back
+// (parallel chains, speculate-then-recertify), and compound k-switch
+// escape moves keeping the chain irreducible when single switches
+// stall. ForbiddenEdges, ProtectedEdges, and NodeClasses are local
+// constraints evaluated inside the kernel's decide phase; they keep
+// constrained parallel runs bit-identical across worker counts.
+// Constraints apply to SeqES, SeqGlobalES, ParES, and ParGlobalES
+// (plus all directed chains, where Connected means weakly connected);
+// Stats reports ConstraintVetoes and the escape counters.
+// Connectivity metrics back the same workload: Graph.IsConnected,
+// Graph.LargestComponent, and their DiGraph counterparts.
+//
 // Functional options (WithAlgorithm, WithWorkers, WithSeed,
-// WithThinning, WithBurnIn, WithLoopProb, WithProgress, ...) validate
-// eagerly and return the typed errors of errors.go; context
-// cancellation is honored at superstep boundaries, always leaving the
-// target a valid simple graph with the original degrees.
+// WithThinning, WithBurnIn, WithLoopProb, WithConstraint,
+// WithProgress, ...) validate eagerly and return the typed errors of
+// errors.go; context cancellation is honored at superstep boundaries,
+// always leaving the target a valid simple graph with the original
+// degrees.
 //
 // Construction helpers cover edge lists (NewGraph, ReadGraph), degree
 // sequences (FromDegrees via Havel-Hakimi, FromInOutDegrees via
@@ -92,7 +112,10 @@
 // sample as it is produced, requests share a bounded global worker
 // budget with FIFO admission control, and an engine pool reuses
 // compiled samplers — persistent worker gangs included — across
-// requests with the same (target, algorithm, workers, seed) identity.
+// requests with the same (target, algorithm, workers, seed,
+// constraints) identity. Requests opt into constrained ensembles with
+// "connected": true and "forbidden_edges"; the CLI mirrors the former
+// as gesmc -connected.
 // Sampler.Close is idempotent, and a closed sampler's methods return
 // ErrClosed, so pooled engines evict safely. See DESIGN.md §9.
 //

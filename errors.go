@@ -41,4 +41,19 @@ var (
 	// released and the chain cannot advance. Close itself is idempotent,
 	// so pooling layers may double-close defensively.
 	ErrClosed = errors.New("gesmc: sampler is closed")
+	// ErrInvalidConstraint is returned for malformed constraints: loop
+	// or out-of-range edges in ForbiddenEdges/ProtectedEdges, a
+	// NodeClasses array whose length differs from the node count, or a
+	// zero Constraint value.
+	ErrInvalidConstraint = errors.New("gesmc: invalid constraint")
+	// ErrUnsupportedConstraint is returned when WithConstraint is
+	// combined with an algorithm outside the constrained set (SeqES,
+	// SeqGlobalES, ParES, ParGlobalES, and the directed chains) or with
+	// WithSampleViaBuckets.
+	ErrUnsupportedConstraint = errors.New("gesmc: constraint not supported for this algorithm")
+	// ErrConstraintViolated is returned when the target graph itself
+	// lies outside the constrained state space: it contains a forbidden
+	// edge, misses a protected edge, or is disconnected under
+	// Connected(). The chain must start inside the space it samples.
+	ErrConstraintViolated = errors.New("gesmc: target violates constraint")
 )

@@ -1,0 +1,120 @@
+// Connectivity-preserving null model — the constrained-sampling
+// workload of Milo et al. and Tabourier et al.: when the observed
+// network is connected by construction (an infrastructure network, a
+// communication backbone), the honest null model fixes both the degree
+// sequence AND connectedness. Sampling only the degrees overcounts
+// disconnected realizations that could never be observed, biasing
+// motif z-scores.
+//
+// We build a small-world network (ring lattice plus shortcuts — richly
+// clustered and connected), then draw two ensembles with its degree
+// sequence: unconstrained, and constrained with Connected(). The
+// triangle z-score of the observed network is reported against both,
+// along with the constrained chain's switch-rejection and
+// k-switch-escape rates — the cost of staying inside the connected
+// state space.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"gesmc"
+)
+
+// smallWorld builds a sparse small-world ring: n nodes on a cycle,
+// with a triangle chord (v, v+2) every spacing nodes. Mostly degree-2
+// with sprinkled degree-3 nodes — clustered (one triangle per chord),
+// connected by construction, and fragile: almost every edge is a
+// bridge or near-bridge, so the unconstrained null model routinely
+// shatters into disjoint cycles while the constrained chain must veto
+// its way around them. This is the regime where the connectivity
+// constraint actually bites.
+func smallWorld(n, spacing int) (*gesmc.Graph, error) {
+	var edges [][2]uint32
+	for v := 0; v < n; v++ {
+		edges = append(edges, [2]uint32{uint32(v), uint32((v + 1) % n)})
+	}
+	for v := 0; v < n; v += spacing {
+		edges = append(edges, [2]uint32{uint32(v), uint32((v + 2) % n)})
+	}
+	return gesmc.NewGraph(n, edges)
+}
+
+// ensembleTriangles draws count samples and returns the triangle-count
+// mean and standard deviation, the fraction of connected samples, and
+// the sampler's lifetime stats.
+func ensembleTriangles(g *gesmc.Graph, count int, opts ...gesmc.Option) (mean, sd, connFrac float64, st gesmc.Stats, err error) {
+	base := []gesmc.Option{
+		gesmc.WithAlgorithm(gesmc.ParGlobalES),
+		gesmc.WithWorkers(2),
+		gesmc.WithSwapsPerEdge(15),
+		gesmc.WithThinning(8),
+		gesmc.WithSeed(42),
+	}
+	sampler, err := gesmc.NewSampler(g.Clone(), append(base, opts...)...)
+	if err != nil {
+		return 0, 0, 0, gesmc.Stats{}, err
+	}
+	defer sampler.Close()
+	var sum, sumsq float64
+	connectedSamples := 0
+	for smp := range sampler.Ensemble(context.Background(), count) {
+		if smp.Err != nil {
+			return 0, 0, 0, gesmc.Stats{}, smp.Err
+		}
+		tr := float64(smp.Graph.Triangles())
+		sum += tr
+		sumsq += tr * tr
+		if smp.Graph.IsConnected() {
+			connectedSamples++
+		}
+	}
+	mean = sum / float64(count)
+	sd = math.Sqrt(sumsq/float64(count) - mean*mean)
+	return mean, sd, float64(connectedSamples) / float64(count), sampler.Stats(), nil
+}
+
+func main() {
+	observed, err := smallWorld(192, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obsTriangles := float64(observed.Triangles())
+	fmt.Printf("observed small-world: n=%d m=%d triangles=%.0f clustering=%.3f connected=%v\n",
+		observed.N(), observed.M(), obsTriangles,
+		observed.ClusteringCoefficient(), observed.IsConnected())
+
+	const samples = 100
+
+	// Unconstrained null model: degrees only.
+	mean, sd, connFrac, _, err := ensembleTriangles(observed, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nunconstrained ensemble (%d samples):\n", samples)
+	fmt.Printf("  triangles mean=%.1f sd=%.1f  connected fraction=%.2f\n", mean, sd, connFrac)
+	fmt.Printf("  z-score of observed triangles: %.1f\n", (obsTriangles-mean)/sd)
+
+	// Connectivity-preserving null model: degrees + connectedness.
+	cmean, csd, cconn, cst, err := ensembleTriangles(observed, samples,
+		gesmc.WithConstraint(gesmc.Connected()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconnected ensemble (%d samples):\n", samples)
+	fmt.Printf("  triangles mean=%.1f sd=%.1f  connected fraction=%.2f\n", cmean, csd, cconn)
+	fmt.Printf("  z-score of observed triangles: %.1f\n", (obsTriangles-cmean)/csd)
+	rejected := float64(cst.Attempted-cst.Accepted) / float64(cst.Attempted)
+	vetoRate := float64(cst.ConstraintVetoes) / float64(cst.Attempted)
+	fmt.Printf("  switch rejection rate=%.3f (connectivity vetoes=%.3f of attempts)\n", rejected, vetoRate)
+	fmt.Printf("  k-switch escapes: %d accepted of %d attempted\n", cst.EscapeMoves, cst.EscapeAttempts)
+
+	if cconn < 1 {
+		log.Fatal("constrained ensemble emitted a disconnected sample")
+	}
+	fmt.Println("\nEvery constrained sample is connected; the unconstrained ensemble")
+	fmt.Println("mixes in disconnected realizations the observed system rules out.")
+}

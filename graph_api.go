@@ -166,5 +166,18 @@ func (g *Graph) ConnectedComponents() int {
 	return c
 }
 
+// IsConnected reports whether the graph is connected (a graph with
+// isolated nodes is not; the empty graph is).
+func (g *Graph) IsConnected() bool {
+	return g.ConnectedComponents() <= 1
+}
+
+// LargestComponent returns the node count of the largest connected
+// component and the total number of components — the usual summary of
+// how far a graph is from connected. Both are 0 for an empty node set.
+func (g *Graph) LargestComponent() (size, components int) {
+	return graph.LargestComponent(g.g)
+}
+
 // internal accessor for sibling files.
 func (g *Graph) raw() *graph.Graph { return g.g }

@@ -1,0 +1,220 @@
+package constraint
+
+import (
+	"testing"
+
+	"gesmc/internal/graph"
+)
+
+func edge(u, v uint32) uint64 { return uint64(graph.MakeEdge(u, v)) }
+
+func TestForbiddenVeto(t *testing.T) {
+	f := NewForbidden([]uint64{edge(0, 1), edge(2, 3)})
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// Vetoes only on targets.
+	if !f.Veto(edge(4, 5), edge(6, 7), edge(0, 1), edge(6, 5)) {
+		t.Fatal("forbidden target t3 not vetoed")
+	}
+	if !f.Veto(edge(4, 5), edge(6, 7), edge(4, 7), edge(2, 3)) {
+		t.Fatal("forbidden target t4 not vetoed")
+	}
+	if f.Veto(edge(0, 1), edge(2, 3), edge(4, 5), edge(6, 7)) {
+		t.Fatal("forbidden sources must not veto (they are being erased)")
+	}
+}
+
+func TestProtectedVeto(t *testing.T) {
+	p := NewProtected([]uint64{edge(0, 1)})
+	if !p.Veto(edge(0, 1), edge(2, 3), edge(0, 3), edge(2, 1)) {
+		t.Fatal("protected source e1 not vetoed")
+	}
+	if !p.Veto(edge(2, 3), edge(0, 1), edge(2, 1), edge(0, 3)) {
+		t.Fatal("protected source e2 not vetoed")
+	}
+	if p.Veto(edge(2, 3), edge(4, 5), edge(2, 5), edge(4, 3)) {
+		t.Fatal("untouched protected edge vetoed")
+	}
+}
+
+func TestClassesVeto(t *testing.T) {
+	// Classes by parity of node id.
+	class := make([]int32, 8)
+	for i := range class {
+		class[i] = int32(i % 2)
+	}
+	c := NewClasses(class)
+	// (0,2),(4,6) -> (0,6),(4,2): all even-even pairs; preserved.
+	if c.Veto(edge(0, 2), edge(4, 6), edge(0, 6), edge(4, 2)) {
+		t.Fatal("class-preserving switch vetoed")
+	}
+	// (0,1),(2,3) -> (0,3),(2,1): even-odd everywhere; preserved.
+	if c.Veto(edge(0, 1), edge(2, 3), edge(0, 3), edge(2, 1)) {
+		t.Fatal("class-preserving switch vetoed")
+	}
+	// (0,1),(2,3) -> (0,2),(1,3): even-odd pair becomes even-even +
+	// odd-odd; class matrix changes.
+	if !c.Veto(edge(0, 1), edge(2, 3), edge(0, 2), edge(1, 3)) {
+		t.Fatal("class-changing switch not vetoed")
+	}
+}
+
+func TestSpecVeto(t *testing.T) {
+	var s *Spec
+	if s.Active() {
+		t.Fatal("nil spec active")
+	}
+	s = &Spec{}
+	if s.Active() || s.Veto() != nil {
+		t.Fatal("empty spec must be inert")
+	}
+	s = &Spec{Locals: []Local{
+		NewForbidden([]uint64{edge(0, 1)}),
+		NewProtected([]uint64{edge(2, 3)}),
+	}}
+	veto := s.Veto()
+	if !s.Active() || veto == nil {
+		t.Fatal("spec with locals must be active")
+	}
+	if !veto(edge(4, 5), edge(6, 7), edge(0, 1), edge(6, 5)) {
+		t.Fatal("combined veto missed forbidden edge")
+	}
+	if !veto(edge(2, 3), edge(4, 5), edge(2, 5), edge(4, 3)) {
+		t.Fatal("combined veto missed protected edge")
+	}
+	if veto(edge(4, 5), edge(6, 7), edge(4, 7), edge(6, 5)) {
+		t.Fatal("clean switch vetoed")
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d", u.Sets())
+	}
+	if !u.Union(0, 1) || !u.Union(1, 2) {
+		t.Fatal("fresh unions reported no-op")
+	}
+	if u.Union(0, 2) {
+		t.Fatal("redundant union reported merge")
+	}
+	if u.Sets() != 3 {
+		t.Fatalf("Sets = %d after merges", u.Sets())
+	}
+	if u.Find(0) != u.Find(2) {
+		t.Fatal("0 and 2 not merged")
+	}
+	if u.Find(3) == u.Find(4) {
+		t.Fatal("3 and 4 merged spuriously")
+	}
+	u.Reset(3)
+	if u.Sets() != 3 || u.Find(0) == u.Find(1) {
+		t.Fatal("reset did not restore singletons")
+	}
+}
+
+// twoTrianglesBridge is the canonical bridge graph: triangles 0-1-2 and
+// 3-4-5 joined by the bridge 2-3.
+func twoTrianglesBridge() []graph.Edge {
+	return []graph.Edge{
+		graph.MakeEdge(0, 1), graph.MakeEdge(1, 2), graph.MakeEdge(0, 2),
+		graph.MakeEdge(2, 3),
+		graph.MakeEdge(3, 4), graph.MakeEdge(4, 5), graph.MakeEdge(3, 5),
+	}
+}
+
+func TestTrackerCertifyAndFastPath(t *testing.T) {
+	E := twoTrianglesBridge()
+	tr := NewTracker(6)
+	if !Certify(tr, E) {
+		t.Fatal("connected graph failed certification")
+	}
+	// The bridge must be a tree edge: deleting it is never fast-path.
+	if tr.FastErasable(uint64(graph.MakeEdge(2, 3)), uint64(graph.MakeEdge(0, 1))) {
+		t.Fatal("bridge deletion certified as safe")
+	}
+	// Exactly m - (n-1) = 2 non-tree edges exist; the pair of them is
+	// fast-erasable.
+	var nonTree []uint64
+	for _, e := range E {
+		if _, ok := tr.tree[uint64(e)]; !ok {
+			nonTree = append(nonTree, uint64(e))
+		}
+	}
+	if len(nonTree) != 2 {
+		t.Fatalf("expected 2 non-tree edges, got %d", len(nonTree))
+	}
+	if !tr.FastErasable(nonTree[0], nonTree[1]) {
+		t.Fatal("non-tree pair not fast-erasable")
+	}
+
+	// Disconnected graph: certification fails.
+	if Certify(NewTracker(6), E[:3]) {
+		t.Fatal("triangle on 6 nodes certified connected (isolated nodes)")
+	}
+	if !Connected(NewTracker(3), E[:3]) {
+		t.Fatal("triangle on its own nodes reported disconnected")
+	}
+}
+
+func TestTrackerCheckSwitch(t *testing.T) {
+	// Hexagon 0-1-2-3-4-5-0: the canonical disconnecting switch erases
+	// the antipodal edges {0,1}, {3,4} and re-pairs the endpoints
+	// within the two remaining paths, splitting the cycle into two
+	// triangles.
+	E := []graph.Edge{
+		graph.MakeEdge(0, 1), graph.MakeEdge(1, 2), graph.MakeEdge(2, 3),
+		graph.MakeEdge(3, 4), graph.MakeEdge(4, 5), graph.MakeEdge(5, 0),
+	}
+	tr := NewTracker(6)
+	if !Certify(tr, E) {
+		t.Fatal("hexagon failed certification")
+	}
+	// In a cycle every edge but one is a tree edge, so this pair takes
+	// the slow path.
+	if tr.FastErasable(uint64(graph.MakeEdge(0, 1)), uint64(graph.MakeEdge(3, 4))) {
+		t.Fatal("cycle-edge pair certified as fast-erasable")
+	}
+	// Cross pairing (0,3),(1,4) reconnects the two paths: accepted.
+	if !CheckSwitch(tr, E, 0, 3, graph.MakeEdge(0, 3), graph.MakeEdge(1, 4)) {
+		t.Fatal("connectivity-preserving rewire rejected")
+	}
+	// Same-side pairing (0,4),(1,3) makes two triangles: rejected.
+	if CheckSwitch(tr, E, 0, 3, graph.MakeEdge(0, 4), graph.MakeEdge(1, 3)) {
+		t.Fatal("disconnecting rewire accepted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	E := twoTrianglesBridge()
+	n, labels := Components(6, E)
+	if n != 1 {
+		t.Fatalf("connected graph: %d components", n)
+	}
+	// Drop the bridge: two components, labels split 0/1 by side.
+	var noBridge []graph.Edge
+	for _, e := range E {
+		if e != graph.MakeEdge(2, 3) {
+			noBridge = append(noBridge, e)
+		}
+	}
+	n, labels = Components(6, noBridge)
+	if n != 2 {
+		t.Fatalf("bridge removed: %d components", n)
+	}
+	if labels[0] != labels[1] || labels[0] != labels[2] {
+		t.Fatal("left triangle split")
+	}
+	if labels[3] != labels[4] || labels[3] != labels[5] {
+		t.Fatal("right triangle split")
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("components merged")
+	}
+	// Isolated nodes are their own components.
+	n, _ = Components(8, noBridge)
+	if n != 4 {
+		t.Fatalf("with 2 isolated nodes: %d components", n)
+	}
+}

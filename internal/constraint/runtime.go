@@ -1,0 +1,151 @@
+package constraint
+
+import (
+	"errors"
+
+	"gesmc/internal/rng"
+	"gesmc/internal/switching"
+)
+
+// ErrDisconnected is returned by NewRuntime when the connectivity
+// constraint is configured over a graph that is not connected: the
+// constrained chain's state space is the connected realizations, and
+// the start state must belong to it. core and digraph re-export it.
+var ErrDisconnected = errors.New("constraint: connectivity requires a connected graph")
+
+// ParStallSupersteps is the escape trigger of the parallel constrained
+// chains: this many consecutive supersteps whose accepted switches
+// were all rolled back by recertification mark the chain as stalled.
+const ParStallSupersteps = 2
+
+// Counters accumulates what one constrained execution did; chains fold
+// them into their own stats types.
+type Counters struct {
+	Legal          int64
+	Vetoed         int64
+	EscapeAttempts int64
+	EscapeMoves    int64
+}
+
+// Runtime is the compiled form of a Spec for one chain, generic over
+// the edge encoding so the undirected (graph.Edge + hashset/EdgeSet)
+// and directed (Arc + map/EdgeSet) chains share one implementation:
+// the fused local veto, the connectivity tracker (nil without
+// Connected), the escape graph ops, and the stall state. Ops must be
+// bound (via the owning chain's set adapter) before the first
+// ExecuteSequential or AfterSuperstep call when connectivity is
+// active.
+type Runtime[E switching.EdgeKind[E]] struct {
+	Veto    func(e1, e2, t3, t4 E) bool
+	Tracker *Tracker
+	Ops     GraphOps[E]
+
+	stallLimit int
+	stall      int
+	lastLegal  int64
+}
+
+// NewRuntime compiles the spec against a target with n nodes and the
+// given edge list, certifying the initial state when connectivity is
+// required (ErrDisconnected otherwise).
+func NewRuntime[E switching.EdgeKind[E]](spec *Spec, n int, edges []E) (*Runtime[E], error) {
+	c := &Runtime[E]{stallLimit: spec.StallLimit()}
+	if raw := spec.Veto(); raw != nil {
+		c.Veto = func(e1, e2, t3, t4 E) bool {
+			return raw(uint64(e1), uint64(e2), uint64(t3), uint64(t4))
+		}
+	}
+	if spec.Connected {
+		c.Tracker = NewTracker(n)
+		if !Certify(c.Tracker, edges) {
+			return nil, ErrDisconnected
+		}
+	}
+	return c, nil
+}
+
+// ExecuteSequential executes the switches in order under the full
+// constraint stack: the Definition-1 simplicity checks first, then the
+// local veto, then (when connectivity is required) the certificate —
+// the O(1) non-tree fast path when it can certify the erasure, the
+// exact union-find recheck when a certificate tree edge is deleted.
+// Connectivity rejections accumulate the stall counter; at the stall
+// limit the chain attempts compound k-switch escapes.
+func (c *Runtime[E]) ExecuteSequential(edges []E, switches []switching.Switch, src rng.Source, cnt *Counters) {
+	for _, sw := range switches {
+		e1 := edges[sw.I]
+		e2 := edges[sw.J]
+		t3, t4 := e1.Targets(e2, sw.G)
+		if isLoop(t3) || isLoop(t4) || t3 == e1 || t3 == e2 || t4 == e1 || t4 == e2 {
+			continue
+		}
+		if c.Veto != nil && c.Veto(e1, e2, t3, t4) {
+			cnt.Vetoed++
+			continue
+		}
+		if c.Ops.Contains(t3) || c.Ops.Contains(t4) {
+			continue
+		}
+		slow := false
+		if c.Tracker != nil && !c.Tracker.FastErasable(uint64(e1), uint64(e2)) {
+			if !CheckSwitch(c.Tracker, edges, int(sw.I), int(sw.J), t3, t4) {
+				cnt.Vetoed++
+				c.stall++
+				if c.stall >= c.stallLimit {
+					c.escape(edges, src, cnt)
+				}
+				continue
+			}
+			slow = true
+		}
+		c.Ops.Erase(e1)
+		c.Ops.Erase(e2)
+		c.Ops.Insert(t3)
+		c.Ops.Insert(t4)
+		edges[sw.I] = t3
+		edges[sw.J] = t4
+		cnt.Legal++
+		if c.Tracker != nil {
+			c.stall = 0
+			if slow {
+				// The deleted tree edge invalidated the forest;
+				// re-certify over the committed state.
+				Certify(c.Tracker, edges)
+			}
+		}
+	}
+}
+
+// escape runs up to EscapeTries compound double-switch proposals
+// through the bound graph ops, resetting the stall counter on success.
+// The tracker is re-certified by the escape itself.
+func (c *Runtime[E]) escape(edges []E, src rng.Source, cnt *Counters) {
+	attempts, moves := Escape(edges, c.Ops, c.Veto, c.Tracker, src, EscapeTries)
+	cnt.EscapeAttempts += attempts
+	cnt.EscapeMoves += moves
+	if moves > 0 {
+		c.stall = 0
+	}
+}
+
+// AfterSuperstep is the speculate-then-recertify step of the parallel
+// constrained chains: recertify the superstep the runner just applied,
+// roll back in reverse commit order if the certificate broke, and run
+// escape moves when recertification has zeroed out ParStallSupersteps
+// whole supersteps in a row.
+func (c *Runtime[E]) AfterSuperstep(r *switching.Runner[E], switches []switching.Switch, src rng.Source, cnt *Counters) {
+	if c.Tracker == nil {
+		return
+	}
+	rolled := Recertify(r, switches, c.Tracker)
+	if rolled > 0 && r.Stats.Legal == c.lastLegal {
+		// Everything the superstep accepted was rolled back.
+		c.stall++
+		if c.stall >= ParStallSupersteps {
+			c.escape(r.E, src, cnt)
+		}
+	} else if r.Stats.Legal > c.lastLegal {
+		c.stall = 0
+	}
+	c.lastLegal = r.Stats.Legal
+}

@@ -1,0 +1,137 @@
+package constraint
+
+// edge64 constrains the packed 64-bit edge encodings the tracker is
+// generic over (graph.Edge and digraph.Arc).
+type edge64 interface{ ~uint64 }
+
+// Tracker is the incremental connectivity certificate of the global
+// constraint tier: a spanning forest over the current edge list,
+// maintained so that the common case — a switch deleting only non-tree
+// edges — is certified connectivity-preserving in O(1) map lookups.
+// Switches that delete a tree edge take the slow path (CheckSwitch): a
+// union-find pass over the edge list minus the deleted edges, deciding
+// exactly whether the rewired graph stays connected.
+//
+// Certificate lifecycle: Certify builds the forest (and the tree-edge
+// marks) from scratch. A fast-path switch keeps the certificate valid
+// without any update — the deleted edges were not in the forest, and
+// the inserted edges are simply absent from the tree marks, i.e.
+// treated as non-tree, which is sound because the old forest still
+// spans the graph. A slow-path acceptance invalidates the forest, so
+// the executor re-certifies immediately after applying the switch.
+//
+// The tracker is single-goroutine state: sequential chains own one
+// directly; parallel chains use it only between supersteps
+// (speculate-then-recertify, see Recertify).
+type Tracker struct {
+	n    int
+	uf   *UnionFind
+	tree map[uint64]struct{}
+}
+
+// NewTracker prepares a tracker for graphs on n nodes.
+func NewTracker(n int) *Tracker {
+	return &Tracker{
+		n:    n,
+		uf:   NewUnionFind(n),
+		tree: make(map[uint64]struct{}, n),
+	}
+}
+
+// Certify rebuilds the spanning-forest certificate from the edge list
+// and reports whether the graph is connected (a graph with isolated
+// nodes is not). The tree marks are valid only when it returns true;
+// constrained chains maintain connectivity as an invariant, so a false
+// return is a construction-time rejection, not a runtime state.
+func Certify[E edge64](t *Tracker, edges []E) bool {
+	t.uf.Reset(t.n)
+	clear(t.tree)
+	for _, e := range edges {
+		u, v := endpoints(uint64(e))
+		if t.uf.Union(int32(u), int32(v)) {
+			t.tree[uint64(e)] = struct{}{}
+		}
+	}
+	return t.uf.Sets() <= 1
+}
+
+// Connected reports whether the edge list is connected without touching
+// the tree marks, so speculative states can be checked and rolled back
+// with the certificate of the last committed state intact.
+func Connected[E edge64](t *Tracker, edges []E) bool {
+	t.uf.Reset(t.n)
+	for _, e := range edges {
+		u, v := endpoints(uint64(e))
+		t.uf.Union(int32(u), int32(v))
+	}
+	return t.uf.Sets() <= 1
+}
+
+// FastErasable reports whether deleting edges e1 and e2 is certified
+// connectivity-preserving: neither is a tree edge of the current
+// certificate, so the spanning forest survives the deletion. A false
+// return does not mean the switch disconnects — it means the
+// certificate cannot tell, and CheckSwitch must decide.
+func (t *Tracker) FastErasable(e1, e2 uint64) bool {
+	if _, ok := t.tree[e1]; ok {
+		return false
+	}
+	_, ok := t.tree[e2]
+	return !ok
+}
+
+// CheckSwitch decides the slow path exactly: does replacing the edges
+// at positions i and j (values e1, e2) by targets t3, t4 keep the
+// graph connected? It runs one union-find pass over the edge list
+// minus the two deleted positions, then merges the target endpoints.
+// Because the pre-switch graph is connected (chain invariant), every
+// component of G − {e1, e2} contains an endpoint of a deleted edge,
+// and those four endpoints are exactly the endpoints of t3 and t4 —
+// so the rewired graph is connected iff the four endpoints end up in
+// one set.
+func CheckSwitch[E edge64](t *Tracker, edges []E, i, j int, t3, t4 E) bool {
+	t.uf.Reset(t.n)
+	for k, e := range edges {
+		if k == i || k == j {
+			continue
+		}
+		u, v := endpoints(uint64(e))
+		t.uf.Union(int32(u), int32(v))
+	}
+	a, b := endpoints(uint64(t3))
+	c, d := endpoints(uint64(t4))
+	t.uf.Union(int32(a), int32(b))
+	t.uf.Union(int32(c), int32(d))
+	root := t.uf.Find(int32(a))
+	return t.uf.Find(int32(b)) == root &&
+		t.uf.Find(int32(c)) == root &&
+		t.uf.Find(int32(d)) == root
+}
+
+// Components labels the connected components of an edge list over n
+// nodes: it returns the number of components and a label per node
+// (labels are assigned in order of first appearance, so they are
+// deterministic). It is the union-find mirror of the DFS-based
+// undirected implementation, shared by the directed (weak
+// connectivity) metrics.
+func Components[E edge64](n int, edges []E) (int, []int32) {
+	uf := NewUnionFind(n)
+	for _, e := range edges {
+		u, v := endpoints(uint64(e))
+		uf.Union(int32(u), int32(v))
+	}
+	labels := make([]int32, n)
+	next := int32(0)
+	remap := make(map[int32]int32, 8)
+	for v := 0; v < n; v++ {
+		r := uf.Find(int32(v))
+		l, ok := remap[r]
+		if !ok {
+			l = next
+			next++
+			remap[r] = l
+		}
+		labels[v] = l
+	}
+	return int(next), labels
+}

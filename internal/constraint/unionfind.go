@@ -1,0 +1,61 @@
+package constraint
+
+// UnionFind is a reusable disjoint-set forest over node ids, the
+// primitive behind the connectivity certificate. Reset reinitializes it
+// in O(n); Union/Find use union by size with path halving.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// NewUnionFind returns a forest over n singleton nodes.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{}
+	u.Reset(n)
+	return u
+}
+
+// Reset reinitializes the forest to n singletons, growing the backing
+// arrays if needed.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.size = make([]int32, n)
+	}
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.size[i] = 1
+	}
+	u.sets = n
+}
+
+// Find returns the representative of x's set, halving the path.
+func (u *UnionFind) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning true if they were
+// distinct.
+func (u *UnionFind) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }

@@ -46,18 +46,29 @@ func NewEngine(g *graph.Graph, alg Algorithm, cfg Config) (*Engine, error) {
 	if g.M() < 2 {
 		return nil, ErrTooSmall
 	}
+	var cons *constrainedRuntime
+	if cfg.Constraint.Active() {
+		if !alg.supportsConstraint() || cfg.SampleViaBuckets {
+			return nil, ErrConstraintUnsupported
+		}
+		var err error
+		cons, err = newConstrainedRuntime(g, cfg.Constraint)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var st stepper
 	switch alg {
 	case AlgSeqES:
-		st = newSeqESStepper(g, cfg)
+		st = newSeqESStepper(g, cfg, cons)
 	case AlgSeqGlobalES:
-		st = newSeqGlobalStepper(g, cfg)
+		st = newSeqGlobalStepper(g, cfg, cons)
 	case AlgNaiveParES:
 		st = newNaiveStepper(g, cfg)
 	case AlgParES:
-		st = newParESStepper(g, cfg)
+		st = newParESStepper(g, cfg, cons)
 	case AlgParGlobalES:
-		st = newParGlobalStepper(g, cfg)
+		st = newParGlobalStepper(g, cfg, cons)
 	case AlgAdjListES:
 		st = newAdjListStepper(g, cfg, false)
 	case AlgAdjSortES:
@@ -119,6 +130,9 @@ func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
 	}
 	e.stats.FirstRoundTime += delta.FirstRoundTime
 	e.stats.LaterRoundsTime += delta.LaterRoundsTime
+	e.stats.Vetoed += delta.Vetoed
+	e.stats.EscapeAttempts += delta.EscapeAttempts
+	e.stats.EscapeMoves += delta.EscapeMoves
 	e.stats.Duration += delta.Duration
 	return delta, err
 }
@@ -142,4 +156,7 @@ func (s *runnerSnap) flushDelta(r *SuperstepRunner, stats *RunStats) {
 	}
 	stats.FirstRoundTime += d.FirstRoundTime
 	stats.LaterRoundsTime += d.LaterRoundsTime
+	// A rolled-back switch was ultimately rejected by the constraint
+	// layer, same as a decide-phase veto.
+	stats.Vetoed += d.Vetoed + d.RolledBack
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"gesmc/internal/conc"
+	"gesmc/internal/constraint"
 	"gesmc/internal/graph"
 	"gesmc/internal/rng"
 )
@@ -138,9 +139,10 @@ type parESStepper struct {
 	pending []Switch
 	window  int
 	snap    runnerSnap
+	cons    *constrainedRuntime
 }
 
-func newParESStepper(g *graph.Graph, cfg Config) stepper {
+func newParESStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepper {
 	m := g.M()
 	w := cfg.workers()
 	// Window of pre-sampled switches; refilled as prefixes are consumed.
@@ -156,6 +158,9 @@ func newParESStepper(g *graph.Graph, cfg Config) stepper {
 	runner := NewSuperstepRunner(g.Edges(), window, w)
 	runner.Pessimistic = cfg.PessimisticRounds
 	runner.Prefetch = cfg.Prefetch
+	if cons != nil {
+		bindRunner(cons, runner)
+	}
 	return &parESStepper{
 		m: m, w: w,
 		src:     rng.NewMT19937(cfg.Seed),
@@ -163,6 +168,7 @@ func newParESStepper(g *graph.Graph, cfg Config) stepper {
 		finder:  newPrefixFinder(runner.Pool(), m),
 		pending: make([]Switch, 0, window),
 		window:  window,
+		cons:    cons,
 	}
 }
 
@@ -178,6 +184,11 @@ func (s *parESStepper) step(stats *RunStats) {
 		t := s.finder.find(s.pending)
 		s.runner.Run(s.pending[:t])
 		stats.Attempted += int64(t)
+		if s.cons != nil {
+			var cc constraint.Counters
+			s.cons.AfterSuperstep(s.runner, s.pending[:t], s.src, &cc)
+			addCounters(stats, &cc)
+		}
 		s.pending = s.pending[:copy(s.pending, s.pending[t:])]
 	}
 	s.snap.flushDelta(s.runner, stats)

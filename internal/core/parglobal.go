@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gesmc/internal/constraint"
 	"gesmc/internal/graph"
 	"gesmc/internal/rng"
 )
@@ -29,14 +30,18 @@ type parGlobalStepper struct {
 	buf     []Switch
 	pl      float64
 	snap    runnerSnap
+	cons    *constrainedRuntime
 }
 
-func newParGlobalStepper(g *graph.Graph, cfg Config) stepper {
+func newParGlobalStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepper {
 	m := g.M()
 	w := cfg.workers()
 	runner := NewSuperstepRunner(g.Edges(), m/2, w)
 	runner.Pessimistic = cfg.PessimisticRounds
 	runner.Prefetch = cfg.Prefetch
+	if cons != nil {
+		bindRunner(cons, runner)
+	}
 	return &parGlobalStepper{
 		m: m, w: w,
 		src:     rng.NewMT19937(cfg.Seed),
@@ -44,6 +49,7 @@ func newParGlobalStepper(g *graph.Graph, cfg Config) stepper {
 		runner:  runner,
 		buf:     make([]Switch, 0, m/2),
 		pl:      cfg.loopProb(),
+		cons:    cons,
 	}
 }
 
@@ -52,6 +58,11 @@ func (s *parGlobalStepper) step(stats *RunStats) {
 	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
 	s.buf = ExecuteGlobalParallel(s.runner, perm, l, s.buf)
 	stats.Attempted += int64(l)
+	if s.cons != nil {
+		var cc constraint.Counters
+		s.cons.AfterSuperstep(s.runner, s.buf, s.src, &cc)
+		addCounters(stats, &cc)
+	}
 	s.snap.flushDelta(s.runner, stats)
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"gesmc/internal/constraint"
 	"gesmc/internal/graph"
 	"gesmc/internal/hashset"
 	"gesmc/internal/rng"
@@ -84,11 +85,12 @@ type seqESStepper struct {
 	src      rng.Source
 	prefetch bool
 	buf      []Switch
+	cons     *constrainedRuntime
 }
 
 const seqChunk = 1 << 12
 
-func newSeqESStepper(g *graph.Graph, cfg Config) stepper {
+func newSeqESStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepper {
 	E := g.Edges()
 	S := hashset.FromEdges(E, 0.5)
 	src := rng.NewMT19937(cfg.Seed)
@@ -100,10 +102,14 @@ func newSeqESStepper(g *graph.Graph, cfg Config) stepper {
 		}
 		return &seqBucketsStepper{m: g.M(), E: E, S: S, src: src, pos: pos}
 	}
+	if cons != nil {
+		bindHashSet(cons, S)
+	}
 	return &seqESStepper{
 		m: g.M(), E: E, S: S, src: src,
 		prefetch: cfg.Prefetch,
 		buf:      make([]Switch, 0, seqChunk),
+		cons:     cons,
 	}
 }
 
@@ -119,9 +125,14 @@ func (s *seqESStepper) step(stats *RunStats) {
 			i, j := rng.TwoDistinct(s.src, s.m)
 			buf[k] = Switch{I: uint32(i), J: uint32(j), G: rng.Bool(s.src)}
 		}
-		if s.prefetch {
+		switch {
+		case s.cons != nil:
+			var cc constraint.Counters
+			s.cons.ExecuteSequential(s.E, buf, s.src, &cc)
+			addCounters(stats, &cc)
+		case s.prefetch:
 			stats.Legal += executeSequentialPrefetch(s.E, s.S, buf)
-		} else {
+		default:
 			stats.Legal += ExecuteSequential(s.E, s.S, buf)
 		}
 		done += take

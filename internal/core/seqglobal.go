@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gesmc/internal/constraint"
 	"gesmc/internal/graph"
 	"gesmc/internal/hashset"
 	"gesmc/internal/rng"
@@ -25,25 +26,36 @@ type seqGlobalStepper struct {
 	prefetch bool
 	pl       float64
 	buf      []Switch
+	cons     *constrainedRuntime
 }
 
-func newSeqGlobalStepper(g *graph.Graph, cfg Config) stepper {
+func newSeqGlobalStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepper {
 	E := g.Edges()
+	S := hashset.FromEdges(E, 0.5)
+	if cons != nil {
+		bindHashSet(cons, S)
+	}
 	return &seqGlobalStepper{
-		m: g.M(), E: E, S: hashset.FromEdges(E, 0.5),
+		m: g.M(), E: E, S: S,
 		src:      rng.NewMT19937(cfg.Seed),
 		prefetch: cfg.Prefetch,
 		pl:       cfg.loopProb(),
 		buf:      make([]Switch, 0, g.M()/2),
+		cons:     cons,
 	}
 }
 
 func (s *seqGlobalStepper) step(stats *RunStats) {
 	perm, l := SampleGlobalSwitch(s.m, s.pl, s.src)
 	s.buf = GlobalSwitches(perm, l, s.buf)
-	if s.prefetch {
+	switch {
+	case s.cons != nil:
+		var cc constraint.Counters
+		s.cons.ExecuteSequential(s.E, s.buf, s.src, &cc)
+		addCounters(stats, &cc)
+	case s.prefetch:
 		stats.Legal += executeSequentialPrefetch(s.E, s.S, s.buf)
-	} else {
+	default:
 		stats.Legal += ExecuteSequential(s.E, s.S, s.buf)
 	}
 	stats.Attempted += int64(l)

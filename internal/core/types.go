@@ -22,6 +22,7 @@ import (
 	"context"
 	"time"
 
+	"gesmc/internal/constraint"
 	"gesmc/internal/graph"
 	"gesmc/internal/rng"
 	"gesmc/internal/switching"
@@ -111,6 +112,13 @@ type Config struct {
 	// Use for round-count experiments (Fig. 9) on machines where the
 	// natural scheduler resolves everything in one round.
 	PessimisticRounds bool
+	// Constraint restricts the chain's state space (see the constraint
+	// package): local vetoes run inside the decide phase, connectivity
+	// via certificate + speculate-then-recertify. Supported by SeqES,
+	// SeqGlobalES, ParES, and ParGlobalES; NewEngine rejects the
+	// combination otherwise (ErrConstraintUnsupported). Nil or a spec
+	// with nothing active constrains nothing.
+	Constraint *constraint.Spec
 }
 
 func (c Config) workers() int {
@@ -140,6 +148,11 @@ type RunStats struct {
 	MaxRounds          int           // largest round count of any superstep
 	FirstRoundTime     time.Duration // time spent in first rounds
 	LaterRoundsTime    time.Duration // time spent in rounds 2+
+
+	// Constraint instrumentation (zero without an active constraint):
+	Vetoed         int64 // switches rejected by the constraint layer (vetoes + rollbacks)
+	EscapeAttempts int64 // compound k-switch escape proposals
+	EscapeMoves    int64 // accepted escape moves
 
 	Duration time.Duration
 }

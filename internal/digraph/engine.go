@@ -5,6 +5,7 @@ import (
 	"errors"
 	"time"
 
+	"gesmc/internal/constraint"
 	"gesmc/internal/rng"
 	"gesmc/internal/switching"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// inherited from the unified kernel). Results are identical; only
 	// round counts change.
 	PessimisticRounds bool
+	// Constraint restricts the chain's state space (see the constraint
+	// package): local vetoes per proposed switch, connectivity meaning
+	// weak connectivity of the underlying undirected graph. All three
+	// directed chains support it. Nil constrains nothing.
+	Constraint *constraint.Spec
 }
 
 func (c Config) loopProb() float64 {
@@ -79,18 +85,36 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 	if g.M() < 2 {
 		return nil, ErrTooSmall
 	}
+	var cons *constrainedRuntime
+	if cfg.Constraint.Active() {
+		var err error
+		cons, err = newConstrainedRuntime(g, cfg.Constraint)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var st stepper
 	switch alg {
 	case AlgSeqES:
+		S := g.ArcSet()
+		if cons != nil {
+			bindMap(cons, S)
+		}
 		st = &dirSeqESStepper{
-			m: g.M(), A: g.Arcs(), S: g.ArcSet(),
-			src: rng.NewMT19937(cfg.Seed),
+			m: g.M(), A: g.Arcs(), S: S,
+			src:  rng.NewMT19937(cfg.Seed),
+			cons: cons,
 		}
 	case AlgSeqGlobalES:
+		S := g.ArcSet()
+		if cons != nil {
+			bindMap(cons, S)
+		}
 		st = &dirSeqGlobalStepper{
-			m: g.M(), A: g.Arcs(), S: g.ArcSet(),
-			src: rng.NewMT19937(cfg.Seed),
-			pl:  cfg.loopProb(),
+			m: g.M(), A: g.Arcs(), S: S,
+			src:  rng.NewMT19937(cfg.Seed),
+			pl:   cfg.loopProb(),
+			cons: cons,
 		}
 	case AlgParGlobalES:
 		w := cfg.Workers
@@ -100,12 +124,16 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 		runner := NewSuperstepRunner(g.Arcs(), g.M()/2, w)
 		runner.Pessimistic = cfg.PessimisticRounds
 		runner.Prefetch = cfg.Prefetch
+		if cons != nil {
+			bindRunner(cons, runner)
+		}
 		st = &dirParGlobalStepper{
 			m: g.M(), w: w,
 			src:     rng.NewMT19937(cfg.Seed),
 			seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0x5DEECE66D),
 			runner:  runner,
 			pl:      cfg.loopProb(),
+			cons:    cons,
 		}
 	default:
 		return nil, ErrUnknownAlgorithm
@@ -164,17 +192,21 @@ func (e *Engine) Steps(ctx context.Context, k int) (RunStats, error) {
 	}
 	e.stats.FirstRoundTime += delta.FirstRoundTime
 	e.stats.LaterRoundsTime += delta.LaterRoundsTime
+	e.stats.Vetoed += delta.Vetoed
+	e.stats.EscapeAttempts += delta.EscapeAttempts
+	e.stats.EscapeMoves += delta.EscapeMoves
 	e.stats.Duration += delta.Duration
 	return delta, err
 }
 
 // dirSeqESStepper: one superstep = ⌊m/2⌋ uniform directed switches.
 type dirSeqESStepper struct {
-	m   int
-	A   []Arc
-	S   map[Arc]struct{}
-	src rng.Source
-	one [1]Switch
+	m    int
+	A    []Arc
+	S    map[Arc]struct{}
+	src  rng.Source
+	one  [1]Switch
+	cons *constrainedRuntime
 }
 
 func (s *dirSeqESStepper) step(stats *RunStats) {
@@ -182,26 +214,39 @@ func (s *dirSeqESStepper) step(stats *RunStats) {
 	for a := int64(0); a < perStep; a++ {
 		i, j := rng.TwoDistinct(s.src, s.m)
 		s.one[0] = Switch{I: uint32(i), J: uint32(j)}
-		stats.Legal += ExecuteSequential(s.A, s.S, s.one[:])
+		if s.cons != nil {
+			var cc constraint.Counters
+			s.cons.ExecuteSequential(s.A, s.one[:], s.src, &cc)
+			addCounters(stats, &cc)
+		} else {
+			stats.Legal += ExecuteSequential(s.A, s.S, s.one[:])
+		}
 	}
 	stats.Attempted += perStep
 }
 
 // dirSeqGlobalStepper: one superstep = one global switch, sequentially.
 type dirSeqGlobalStepper struct {
-	m   int
-	A   []Arc
-	S   map[Arc]struct{}
-	src rng.Source
-	pl  float64
-	buf []Switch
+	m    int
+	A    []Arc
+	S    map[Arc]struct{}
+	src  rng.Source
+	pl   float64
+	buf  []Switch
+	cons *constrainedRuntime
 }
 
 func (s *dirSeqGlobalStepper) step(stats *RunStats) {
 	perm := rng.Perm(s.src, s.m)
 	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
 	s.buf = GlobalSwitches(perm, l, s.buf)
-	stats.Legal += ExecuteSequential(s.A, s.S, s.buf)
+	if s.cons != nil {
+		var cc constraint.Counters
+		s.cons.ExecuteSequential(s.A, s.buf, s.src, &cc)
+		addCounters(stats, &cc)
+	} else {
+		stats.Legal += ExecuteSequential(s.A, s.S, s.buf)
+	}
 	stats.Attempted += int64(l)
 }
 
@@ -216,6 +261,7 @@ type dirParGlobalStepper struct {
 	buf     []Switch
 	pl      float64
 	prev    switching.Stats
+	cons    *constrainedRuntime
 }
 
 func (s *dirParGlobalStepper) release() { s.runner.Release() }
@@ -226,6 +272,11 @@ func (s *dirParGlobalStepper) step(stats *RunStats) {
 	s.buf = GlobalSwitches(perm, l, s.buf)
 	s.runner.Run(s.buf)
 	stats.Attempted += int64(l)
+	if s.cons != nil {
+		var cc constraint.Counters
+		s.cons.AfterSuperstep(s.runner, s.buf, s.src, &cc)
+		addCounters(stats, &cc)
+	}
 	d := s.runner.Stats.Sub(s.prev)
 	s.prev = s.runner.Stats
 	stats.Legal += d.Legal
@@ -236,4 +287,5 @@ func (s *dirParGlobalStepper) step(stats *RunStats) {
 	}
 	stats.FirstRoundTime += d.FirstRoundTime
 	stats.LaterRoundsTime += d.LaterRoundsTime
+	stats.Vetoed += d.Vetoed + d.RolledBack
 }

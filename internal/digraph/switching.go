@@ -83,7 +83,11 @@ type RunStats struct {
 	MaxRounds          int
 	FirstRoundTime     time.Duration
 	LaterRoundsTime    time.Duration
-	Duration           time.Duration
+	// Constraint instrumentation (zero without an active constraint).
+	Vetoed         int64
+	EscapeAttempts int64
+	EscapeMoves    int64
+	Duration       time.Duration
 }
 
 // run is the shared one-shot wrapper over NewEngine + Steps.

@@ -117,6 +117,33 @@ func ConnectedComponents(g *Graph) (int, []int32) {
 	return int(comp), labels
 }
 
+// LargestComponent returns the node count of the largest connected
+// component and the total number of components (0, 0 for an empty node
+// set). A graph is connected iff components <= 1.
+func LargestComponent(g *Graph) (size, components int) {
+	return LargestOfLabels(ConnectedComponents(g))
+}
+
+// LargestOfLabels reduces a (component count, per-node labels) pair —
+// as produced by ConnectedComponents here or its weak-connectivity
+// mirror in the digraph package — to the largest component's node
+// count plus the component count.
+func LargestOfLabels(comp int, labels []int32) (size, components int) {
+	if comp == 0 {
+		return 0, 0
+	}
+	counts := make([]int, comp)
+	for _, l := range labels {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c > size {
+			size = c
+		}
+	}
+	return size, comp
+}
+
 // DegreeHistogram returns counts[d] = number of nodes of degree d.
 func DegreeHistogram(g *Graph) []int {
 	deg := g.Degrees()

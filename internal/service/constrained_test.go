@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"gesmc"
+	"gesmc/wire"
+)
+
+// cycleEdges returns the n-cycle edge list (connected, fragile).
+func cycleEdges(n int) [][2]uint32 {
+	edges := make([][2]uint32, n)
+	for v := 0; v < n; v++ {
+		edges[v] = [2]uint32{uint32(v), uint32((v + 1) % n)}
+	}
+	return edges
+}
+
+// TestServerConnectedEnsemble: a connected-constrained request streams
+// an ensemble in which every line decodes to a connected graph.
+func TestServerConnectedEnsemble(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	resp := postSample(t, ts.URL, wire.SampleRequest{
+		Edges:     cycleEdges(10),
+		Connected: true,
+		Samples:   25,
+		Seed:      4,
+		Thinning:  2,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	lines := decodeAll(t, resp.Body)
+	if len(lines) != 25 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		if ln.Error != "" {
+			t.Fatalf("line %d: %s", ln.Index, ln.Error)
+		}
+		g, _, err := ln.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("line %d: disconnected sample", ln.Index)
+		}
+		if ln.Stats == nil {
+			t.Fatalf("line %d: missing stats", ln.Index)
+		}
+	}
+}
+
+// TestServerConnectedRejectsDisconnectedTarget: a disconnected explicit
+// target under connected:true is a 400, not a stream.
+func TestServerConnectedRejectsDisconnectedTarget(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	resp := postSample(t, ts.URL, wire.SampleRequest{
+		Edges:     [][2]uint32{{0, 1}, {1, 2}, {3, 4}, {4, 5}},
+		Connected: true,
+		Samples:   2,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConstraintInEngineKey: requests differing only in constraints
+// must compile distinct engines — a connected-ensemble request can
+// never resume an unconstrained pooled chain.
+func TestConstraintInEngineKey(t *testing.T) {
+	mk := func(mut func(*wire.SampleRequest)) engineKey {
+		wr := &wire.SampleRequest{Edges: cycleEdges(8), Samples: 1}
+		mut(wr)
+		req, err := FromWire(wr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req.engineKey()
+	}
+	plain := mk(func(*wire.SampleRequest) {})
+	conn := mk(func(wr *wire.SampleRequest) { wr.Connected = true })
+	forb := mk(func(wr *wire.SampleRequest) { wr.ForbiddenEdges = [][2]uint32{{0, 3}} })
+	forb2 := mk(func(wr *wire.SampleRequest) { wr.ForbiddenEdges = [][2]uint32{{0, 4}} })
+	if plain == conn {
+		t.Fatal("connected flag not part of engine identity")
+	}
+	if plain == forb || forb == forb2 {
+		t.Fatal("forbidden edges not part of engine identity")
+	}
+	if mk(func(wr *wire.SampleRequest) { wr.Connected = true }) != conn {
+		t.Fatal("engine key not stable")
+	}
+	// Equivalent forbidden sets share a pooled engine: pair orientation
+	// and list order are canonicalized before hashing (undirected).
+	if mk(func(wr *wire.SampleRequest) { wr.ForbiddenEdges = [][2]uint32{{3, 0}} }) != forb {
+		t.Fatal("pair orientation changes the engine key")
+	}
+	both := mk(func(wr *wire.SampleRequest) { wr.ForbiddenEdges = [][2]uint32{{0, 3}, {0, 4}} })
+	if mk(func(wr *wire.SampleRequest) { wr.ForbiddenEdges = [][2]uint32{{4, 0}, {3, 0}} }) != both {
+		t.Fatal("list order changes the engine key")
+	}
+}
+
+// TestForbiddenEdgesValidation: loops in forbidden_edges are a
+// validation error; a forbidden edge present in the target is a 400 at
+// compile time.
+func TestForbiddenEdgesValidation(t *testing.T) {
+	if _, err := FromWire(&wire.SampleRequest{
+		Edges:          cycleEdges(6),
+		ForbiddenEdges: [][2]uint32{{2, 2}},
+	}); err == nil {
+		t.Fatal("loop forbidden edge accepted")
+	}
+
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+	resp := postSample(t, ts.URL, wire.SampleRequest{
+		Edges:          cycleEdges(6),
+		ForbiddenEdges: [][2]uint32{{0, 1}}, // present in the cycle
+		Samples:        1,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConnectedPoolReuse: repeated identical connected requests reuse
+// the pooled constrained engine and keep streaming connected samples.
+func TestConnectedPoolReuse(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2, PoolCapacity: 4})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	req := wire.SampleRequest{Edges: cycleEdges(10), Connected: true, Samples: 10, Seed: 9, Thinning: 2}
+	for round := 0; round < 3; round++ {
+		resp := postSample(t, ts.URL, req)
+		lines := decodeAll(t, resp.Body)
+		resp.Body.Close()
+		if len(lines) != 10 {
+			t.Fatalf("round %d: %d lines", round, len(lines))
+		}
+		for _, ln := range lines {
+			g, _, err := ln.Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsConnected() {
+				t.Fatalf("round %d line %d: disconnected", round, ln.Index)
+			}
+		}
+	}
+	m := svc.Metrics()
+	if m.Pool.Hits < 2 {
+		t.Fatalf("pool hits = %d, want >= 2", m.Pool.Hits)
+	}
+}
+
+// TestRequestConstraintOptions: the request's constraint fields map to
+// sampler options that actually constrain (unit check against the
+// public API, no HTTP).
+func TestRequestConstraintOptions(t *testing.T) {
+	req, err := FromWire(&wire.SampleRequest{
+		Edges:     cycleEdges(8),
+		Connected: true,
+		Samples:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := req.buildTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := gesmc.NewSampler(target, req.samplerOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Step(6); err != nil {
+		t.Fatal(err)
+	}
+	g := target.(*gesmc.Graph)
+	if !g.IsConnected() {
+		t.Fatal("constrained sampler left a disconnected state")
+	}
+}

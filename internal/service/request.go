@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"slices"
 	"time"
 
 	"gesmc"
@@ -81,6 +82,14 @@ type Request struct {
 	Thinning     int
 	SwapsPerEdge float64
 	Timeout      time.Duration
+
+	// Connected and ForbiddenEdges map to gesmc.WithConstraint on the
+	// compiled sampler: every streamed sample is connected and avoids
+	// the forbidden pairs. A target outside the constrained space
+	// (disconnected, or containing a forbidden edge) fails validation
+	// at compile time and surfaces as a 400.
+	Connected      bool
+	ForbiddenEdges [][2]uint32
 }
 
 // FromWire validates a wire request and resolves defaults. All
@@ -90,13 +99,15 @@ func FromWire(wr *wire.SampleRequest) (*Request, error) {
 		return nil, &RequestError{Field: "body", Reason: "missing request body"}
 	}
 	r := &Request{
-		Workers:      wr.Workers,
-		Seed:         wr.Seed,
-		Samples:      wr.Samples,
-		BurnIn:       wr.BurnIn,
-		Thinning:     wr.Thinning,
-		SwapsPerEdge: wr.SwapsPerEdge,
-		nodes:        wr.Nodes,
+		Workers:        wr.Workers,
+		Seed:           wr.Seed,
+		Samples:        wr.Samples,
+		BurnIn:         wr.BurnIn,
+		Thinning:       wr.Thinning,
+		SwapsPerEdge:   wr.SwapsPerEdge,
+		nodes:          wr.Nodes,
+		Connected:      wr.Connected,
+		ForbiddenEdges: wr.ForbiddenEdges,
 	}
 	if wr.TimeoutMS < 0 {
 		return nil, &RequestError{Field: "timeout_ms", Reason: "must be non-negative"}
@@ -190,6 +201,12 @@ func (r *Request) Validate() error {
 			return &RequestError{Field: "degrees", Reason: fmt.Sprintf("degree[%d] = %d is negative", i, d)}
 		}
 	}
+	for i, e := range r.ForbiddenEdges {
+		if e[0] == e[1] {
+			return &RequestError{Field: "forbidden_edges",
+				Reason: fmt.Sprintf("edge[%d] = (%d, %d) is a loop", i, e[0], e[1])}
+		}
+	}
 	return nil
 }
 
@@ -266,6 +283,12 @@ func (r *Request) samplerOptions() []gesmc.Option {
 	if r.Thinning > 0 {
 		opts = append(opts, gesmc.WithThinning(r.Thinning))
 	}
+	if r.Connected {
+		opts = append(opts, gesmc.WithConstraint(gesmc.Connected()))
+	}
+	if len(r.ForbiddenEdges) > 0 {
+		opts = append(opts, gesmc.WithConstraint(gesmc.ForbiddenEdges(r.ForbiddenEdges)))
+	}
 	return opts
 }
 
@@ -312,6 +335,34 @@ func (r *Request) engineKey() engineKey {
 	put(uint64(len(r.edges)))
 	for _, e := range r.edges {
 		put(uint64(e[0])<<32 | uint64(e[1]))
+	}
+	// Constraints change the compiled chain, so they are part of the
+	// engine identity: a connected-ensemble request must never resume
+	// an unconstrained pooled engine (or vice versa). Forbidden edges
+	// are hashed in the same canonical form the sampler compiles them
+	// to — (min, max) for undirected targets — and sorted, so requests
+	// that differ only in pair orientation or list order share a
+	// pooled engine.
+	if r.Connected {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(len(r.ForbiddenEdges)))
+	if len(r.ForbiddenEdges) > 0 {
+		directed := r.kind == targetArcs || r.kind == targetInOut || r.kind == targetBipartite
+		packed := make([]uint64, len(r.ForbiddenEdges))
+		for i, e := range r.ForbiddenEdges {
+			u, v := e[0], e[1]
+			if !directed && u > v {
+				u, v = v, u
+			}
+			packed[i] = uint64(u)<<32 | uint64(v)
+		}
+		slices.Sort(packed)
+		for _, p := range packed {
+			put(p)
+		}
 	}
 	return engineKey{
 		targetHash: h.Sum64(),

@@ -19,6 +19,14 @@ type Stats struct {
 	Legal              int64
 	FirstRoundTime     time.Duration
 	LaterRoundsTime    time.Duration
+
+	// Constraint instrumentation (zero without an active constraint):
+	// Vetoed counts switches rejected by the runner's local veto hook,
+	// RolledBack counts accepted switches undone by a post-superstep
+	// Rollback (the speculate-then-recertify mode of global
+	// constraints). Legal is net of rollbacks.
+	Vetoed     int64
+	RolledBack int64
 }
 
 // Sub returns the field-wise increment from prev to s, so callers can
@@ -32,6 +40,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		Legal:              s.Legal - prev.Legal,
 		FirstRoundTime:     s.FirstRoundTime - prev.FirstRoundTime,
 		LaterRoundsTime:    s.LaterRoundsTime - prev.LaterRoundsTime,
+		Vetoed:             s.Vetoed - prev.Vetoed,
+		RolledBack:         s.RolledBack - prev.RolledBack,
 	}
 }
 

@@ -44,9 +44,18 @@ type Runner[E EdgeKind[E]] struct {
 	// Results are bit-identical with the pipeline on or off.
 	Prefetch bool
 
+	// Veto is the local-constraint hook of the constraint subsystem:
+	// when non-nil, a switch whose (sources, targets) it reports true
+	// for is decided illegal. The hook runs concurrently from every
+	// worker and must be a pure function of its arguments — all four
+	// are pre-superstep snapshot values, so vetoes are deterministic
+	// and constrained runs stay bit-identical for every worker count.
+	Veto func(e1, e2, t3, t4 E) bool
+
 	table    *conc.DepTable
 	scratch  []graph.Edge
 	switches []Switch
+	vetoTot  []paddedCounter
 
 	// Phase bodies and driver hooks, created once so supersteps
 	// allocate nothing.
@@ -72,6 +81,7 @@ func NewRunner[E EdgeKind[E]](edges []E, maxSwitches, workers int) *Runner[E] {
 		table: conc.NewDepTable(maxSwitches),
 	}
 	r.RoundDriver.Init(workers)
+	r.vetoTot = make([]paddedCounter, r.Workers())
 	// A 1-worker gang drives the table and set from a single goroutine:
 	// drop the CAS/XCHG write paths for plain stores.
 	seq := r.Workers() == 1
@@ -120,6 +130,10 @@ func (r *Runner[E]) Run(switches []Switch) {
 		r.PreTouch = nil
 	}
 	r.RoundDriver.Run(n, r.decideFn, r.publishFn)
+	for i := range r.vetoTot {
+		r.Stats.Vetoed += r.vetoTot[i].v
+		r.vetoTot[i].v = 0
+	}
 
 	// Phase 3: apply the accepted switches to the edge set. Erasures
 	// first, then insertions, so an edge that is erased by one switch
@@ -185,8 +199,8 @@ func (r *Runner[E]) storeTuples(k int) {
 }
 
 // decideItem adapts decide to the driver's item signature.
-func (r *Runner[E]) decideItem(_ int, k int32) uint32 {
-	return r.decide(r.switches[k], int(k))
+func (r *Runner[E]) decideItem(worker int, k int32) uint32 {
+	return r.decide(r.switches[k], int(k), worker)
 }
 
 // publishItem publishes a decision into the dependency table.
@@ -270,7 +284,7 @@ func (r *Runner[E]) compactRebuild(_, lo, hi int) {
 // returns its resulting status. Legal switches rewire the edge list
 // immediately; the driver publishes the status (immediately, or at the
 // round barrier under the pessimistic scheduler).
-func (r *Runner[E]) decide(sw Switch, k int) uint32 {
+func (r *Runner[E]) decide(sw Switch, k int, worker int) uint32 {
 	t := r.table
 	base := 4 * k
 	e1 := E(t.Key(base))
@@ -284,6 +298,11 @@ func (r *Runner[E]) decide(sw Switch, k int) uint32 {
 		// Loops, or targets equal to own sources ("already exists in
 		// E" per Definition 1); e1 == e2 can only arise from a caller
 		// bug but is rejected defensively.
+		st = conc.StatusIllegal
+	} else if r.Veto != nil && r.Veto(e1, e2, t3, t4) {
+		// Local constraint veto: snapshot-determined, so the decision
+		// is final in the first round and identical on every schedule.
+		r.vetoTot[worker].v++
 		st = conc.StatusIllegal
 	} else {
 		// Issue the four bucket loads the loop below depends on before
@@ -348,4 +367,37 @@ func (r *Runner[E]) decide(sw Switch, k int) uint32 {
 		r.E[sw.J] = t4
 	}
 	return st
+}
+
+// Accepted reports whether switch k of the superstep most recently
+// executed by Run was decided legal. Valid until the next Run call
+// resets the dependency table.
+func (r *Runner[E]) Accepted(k int) bool {
+	return r.table.StatusOf(k) == conc.StatusLegal
+}
+
+// Rollback undoes accepted switch k of the superstep most recently
+// executed by Run: the source edges return to the edge list and the
+// edge set, the targets are erased, and the switch is re-marked
+// illegal. It is the primitive of the speculate-then-recertify mode
+// for global constraints (constraint.Recertify) and must be applied in
+// reverse commit order — undoing the highest accepted k first — so
+// that each undo reverts exactly the last step of the equivalent
+// sequential application. Single-goroutine, between supersteps only.
+func (r *Runner[E]) Rollback(k int, sw Switch) {
+	t := r.table
+	base := 4 * k
+	e1 := E(t.Key(base))
+	e2 := E(t.Key(base + 1))
+	t3 := E(t.Key(base + 2))
+	t4 := E(t.Key(base + 3))
+	r.Set.EraseUnique(graph.Edge(t3))
+	r.Set.EraseUnique(graph.Edge(t4))
+	r.Set.InsertUnique(graph.Edge(e1))
+	r.Set.InsertUnique(graph.Edge(e2))
+	r.E[sw.I] = e1
+	r.E[sw.J] = e2
+	t.SetStatus(k, conc.StatusIllegal)
+	r.Stats.Legal--
+	r.Stats.RolledBack++
 }

@@ -17,6 +17,7 @@ type samplerConfig struct {
 	prefetch         bool
 	sampleViaBuckets bool
 	progress         func(Progress)
+	constraints      []Constraint
 }
 
 func defaultSamplerConfig() samplerConfig {
@@ -162,6 +163,25 @@ func WithPrefetch(on bool) Option {
 func WithSampleViaBuckets(on bool) Option {
 	return func(c *samplerConfig) error {
 		c.sampleViaBuckets = on
+		return nil
+	}
+}
+
+// WithConstraint restricts the sampled state space to the realizations
+// satisfying every given constraint — Connected(), ForbiddenEdges(...),
+// ProtectedEdges(...), NodeClasses(...). Repeated WithConstraint calls
+// accumulate. Validation that needs the target (edge bounds, forbidden
+// edges absent, protected edges present, connected start state) runs
+// in NewSampler and returns ErrInvalidConstraint,
+// ErrUnsupportedConstraint, or ErrConstraintViolated.
+//
+// Local constraints keep results bit-identical across worker counts;
+// with Connected() active the chain is deterministic per (seed,
+// workers) and every emitted sample is connected. See the Constraint
+// type for the evaluation model and supported algorithms.
+func WithConstraint(cs ...Constraint) Option {
+	return func(c *samplerConfig) error {
+		c.constraints = append(c.constraints, cs...)
 		return nil
 	}
 }

@@ -191,7 +191,16 @@ type Stats struct {
 	AvgRounds          float64
 	MaxRounds          int
 	LateRoundsFraction float64
-	Duration           time.Duration
+	// Constraint instrumentation (zero without WithConstraint):
+	// ConstraintVetoes counts switches rejected by the constraint layer
+	// (local vetoes, connectivity rejections, and speculative switches
+	// rolled back), EscapeAttempts and EscapeMoves the compound
+	// k-switch escape proposals and acceptances. Accepted is always net
+	// of rollbacks.
+	ConstraintVetoes int64
+	EscapeAttempts   int64
+	EscapeMoves      int64
+	Duration         time.Duration
 }
 
 // Randomize runs the selected switching Markov chain on g in place and

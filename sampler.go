@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"gesmc/internal/constraint"
 	"gesmc/internal/core"
 	"gesmc/internal/curveball"
 	"gesmc/internal/digraph"
@@ -42,6 +43,9 @@ type engineStats struct {
 	maxRounds   int
 	firstRound  time.Duration
 	laterRounds time.Duration
+	vetoed      int64
+	escAttempts int64
+	escMoves    int64
 	duration    time.Duration
 }
 
@@ -56,17 +60,23 @@ func (a *engineStats) add(b engineStats) {
 	}
 	a.firstRound += b.firstRound
 	a.laterRounds += b.laterRounds
+	a.vetoed += b.vetoed
+	a.escAttempts += b.escAttempts
+	a.escMoves += b.escMoves
 	a.duration += b.duration
 }
 
 func (a engineStats) toStats(algorithm string) Stats {
 	st := Stats{
-		Algorithm:  algorithm,
-		Supersteps: a.supersteps,
-		Attempted:  a.attempted,
-		Accepted:   a.legal,
-		MaxRounds:  a.maxRounds,
-		Duration:   a.duration,
+		Algorithm:        algorithm,
+		Supersteps:       a.supersteps,
+		Attempted:        a.attempted,
+		Accepted:         a.legal,
+		MaxRounds:        a.maxRounds,
+		ConstraintVetoes: a.vetoed,
+		EscapeAttempts:   a.escAttempts,
+		EscapeMoves:      a.escMoves,
+		Duration:         a.duration,
 	}
 	if a.internal > 0 {
 		st.AvgRounds = float64(a.totalRounds) / float64(a.internal)
@@ -347,6 +357,9 @@ func (e *graphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 		maxRounds:   rs.MaxRounds,
 		firstRound:  rs.FirstRoundTime,
 		laterRounds: rs.LaterRoundsTime,
+		vetoed:      rs.Vetoed,
+		escAttempts: rs.EscapeAttempts,
+		escMoves:    rs.EscapeMoves,
 		duration:    rs.Duration,
 	}, err
 }
@@ -425,6 +438,9 @@ func (e *digraphEngine) steps(ctx context.Context, k int) (engineStats, error) {
 		maxRounds:   rs.MaxRounds,
 		firstRound:  rs.FirstRoundTime,
 		laterRounds: rs.LaterRoundsTime,
+		vetoed:      rs.Vetoed,
+		escAttempts: rs.EscapeAttempts,
+		escMoves:    rs.EscapeMoves,
 		duration:    rs.Duration,
 	}, err
 }
@@ -440,6 +456,9 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		return nil, ErrNilTarget
 	}
 	if cfg.algorithm == Curveball || cfg.algorithm == GlobalCurveball {
+		if len(cfg.constraints) > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrUnsupportedConstraint, cfg.algorithm)
+		}
 		if g.g.M() < 2 {
 			return nil, fmt.Errorf("%w: m=%d", ErrGraphTooSmall, g.g.M())
 		}
@@ -455,12 +474,34 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: Algorithm(%d)", ErrUnknownAlgorithm, int(cfg.algorithm))
 	}
+	var spec *constraint.Spec
+	if len(cfg.constraints) > 0 {
+		switch cfg.algorithm {
+		case SeqES, SeqGlobalES, ParES, ParGlobalES:
+		default:
+			return nil, fmt.Errorf("%w: %s", ErrUnsupportedConstraint, cfg.algorithm)
+		}
+		if cfg.sampleViaBuckets {
+			return nil, fmt.Errorf("%w: WithSampleViaBuckets", ErrUnsupportedConstraint)
+		}
+		edgeSet := make(map[uint64]struct{}, g.g.M())
+		for _, e := range g.g.Edges() {
+			edgeSet[uint64(e)] = struct{}{}
+		}
+		has := func(e uint64) bool { _, ok := edgeSet[e]; return ok }
+		var err error
+		spec, err = compileConstraints(cfg.constraints, g.g.N(), false, has, g.IsConnected)
+		if err != nil {
+			return nil, err
+		}
+	}
 	eng, err := core.NewEngine(g.g, ca, core.Config{
 		Workers:          cfg.workers,
 		Seed:             cfg.seed,
 		LoopProb:         cfg.loopProb,
 		Prefetch:         cfg.prefetch,
 		SampleViaBuckets: cfg.sampleViaBuckets,
+		Constraint:       spec,
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrTooSmall) {
@@ -490,11 +531,25 @@ func (g *DiGraph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		return nil, fmt.Errorf("%w: directed randomization supports SeqES, SeqGlobalES, ParGlobalES; got %s",
 			ErrUnsupportedAlgorithm, cfg.algorithm)
 	}
+	var spec *constraint.Spec
+	if len(cfg.constraints) > 0 {
+		arcSet := make(map[uint64]struct{}, g.g.M())
+		for _, a := range g.g.Arcs() {
+			arcSet[uint64(a)] = struct{}{}
+		}
+		has := func(e uint64) bool { _, ok := arcSet[e]; return ok }
+		var err error
+		spec, err = compileConstraints(cfg.constraints, g.g.N(), true, has, g.IsConnected)
+		if err != nil {
+			return nil, err
+		}
+	}
 	eng, err := digraph.NewEngine(g.g, da, digraph.Config{
-		Workers:  cfg.workers,
-		Seed:     cfg.seed,
-		LoopProb: cfg.loopProb,
-		Prefetch: cfg.prefetch,
+		Workers:    cfg.workers,
+		Seed:       cfg.seed,
+		LoopProb:   cfg.loopProb,
+		Prefetch:   cfg.prefetch,
+		Constraint: spec,
 	})
 	if err != nil {
 		if errors.Is(err, digraph.ErrTooSmall) {

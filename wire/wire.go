@@ -67,6 +67,14 @@ type SampleRequest struct {
 	// TimeoutMS bounds the whole request, including queue wait; 0
 	// means no deadline beyond the server's own limits.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Connected constrains every sample to be connected (weakly
+	// connected for directed targets); the realized target must be
+	// connected or the request fails with 400. ForbiddenEdges
+	// constrains every sample to avoid the given (u, v) pairs. Both
+	// map to gesmc.WithConstraint on the compiled sampler.
+	Connected      bool        `json:"connected,omitempty"`
+	ForbiddenEdges [][2]uint32 `json:"forbidden_edges,omitempty"`
 }
 
 // Stats is the JSON form of gesmc.Stats.
@@ -78,7 +86,11 @@ type Stats struct {
 	AvgRounds          float64 `json:"avg_rounds,omitempty"`
 	MaxRounds          int     `json:"max_rounds,omitempty"`
 	LateRoundsFraction float64 `json:"late_rounds_fraction,omitempty"`
-	DurationNS         int64   `json:"duration_ns"`
+	// Constraint instrumentation (absent without constraints).
+	ConstraintVetoes int64 `json:"constraint_vetoes,omitempty"`
+	EscapeAttempts   int64 `json:"escape_attempts,omitempty"`
+	EscapeMoves      int64 `json:"escape_moves,omitempty"`
+	DurationNS       int64 `json:"duration_ns"`
 }
 
 // FromStats converts sampler statistics to their wire form.
@@ -91,6 +103,9 @@ func FromStats(st gesmc.Stats) Stats {
 		AvgRounds:          st.AvgRounds,
 		MaxRounds:          st.MaxRounds,
 		LateRoundsFraction: st.LateRoundsFraction,
+		ConstraintVetoes:   st.ConstraintVetoes,
+		EscapeAttempts:     st.EscapeAttempts,
+		EscapeMoves:        st.EscapeMoves,
 		DurationNS:         st.Duration.Nanoseconds(),
 	}
 }
