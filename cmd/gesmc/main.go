@@ -15,6 +15,13 @@
 //	gesmc -in graph.txt -samples 100 -thinning 4 -out 'sample-%d.txt'
 //	gesmc -in graph.txt -connected -samples 50 -format ndjson -stats
 //	cat graph.txt | gesmc -in - -samples 5 -format ndjson | jq .stats.attempted
+//	gesmc -in graph.txt -samples 20 -server 127.0.0.1:8742 -format ndjson
+//
+// With -server URL, sampling runs on a gesmcd daemon (or cluster
+// coordinator) instead of in-process: the loaded target ships as an
+// explicit edge list in a wire.SampleRequest and the NDJSON stream
+// comes back line by line, so the pooled burned-in engines (and, via a
+// coordinator, the whole shard ring) serve the CLI too.
 //
 // With -connected, sampling is restricted to connected graphs (the
 // connectivity-preserving null model): the input must be connected,
@@ -30,8 +37,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"gesmc"
+	"gesmc/internal/service"
 	"gesmc/wire"
 )
 
@@ -53,6 +62,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print graph metrics before and after (undirected targets)")
 		prefetch  = flag.Bool("prefetch", true, "enable hash-bucket pre-touch pipeline")
 		connected = flag.Bool("connected", false, "constrain sampling to connected graphs (the input must be connected)")
+		server    = flag.String("server", "", "forward sampling to a gesmcd daemon or coordinator at this URL instead of sampling in-process")
 	)
 	flag.Parse()
 
@@ -66,6 +76,14 @@ func main() {
 	alg, err := gesmc.ParseAlgorithm(*algoName)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *server != "" {
+		req := remoteRequest(target, *algoName, max(*workers, 1), *seed, *samples, *steps, *thinning, *swaps, *connected)
+		if err := runRemote(*server, req, *format, *outPath, *stats); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	opts := []gesmc.Option{
@@ -172,6 +190,95 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ensemble: %d samples in %d supersteps (engine built once), total time=%v\n",
 			sampler.Samples(), sampler.Supersteps(), total.Duration)
 	}
+}
+
+// remoteRequest converts the loaded target plus the sampling flags
+// into the wire request a daemon executes. The target always ships as
+// an explicit edge (or arc) list: that is the one spec every loaded or
+// generated input reduces to.
+func remoteRequest(target gesmc.Target, algo string, workers int, seed uint64,
+	samples, burnIn, thinning int, swaps float64, connected bool) *wire.SampleRequest {
+	req := &wire.SampleRequest{
+		Algorithm:    algo,
+		Workers:      workers,
+		Seed:         seed,
+		Samples:      max(samples, 1),
+		Thinning:     thinning,
+		SwapsPerEdge: swaps,
+		Connected:    connected,
+	}
+	if burnIn > 0 {
+		// -supersteps overrides -swaps, exactly like the local path.
+		req.BurnIn = burnIn
+		req.SwapsPerEdge = 0
+	}
+	switch t := target.(type) {
+	case *gesmc.Graph:
+		req.Nodes, req.Edges = t.N(), t.Edges()
+	case *gesmc.DiGraph:
+		req.Nodes, req.Edges, req.Directed = t.N(), t.Arcs(), true
+	}
+	return req
+}
+
+// runRemote streams the request through a RemoteBackend and writes the
+// samples in the chosen format, mirroring the in-process output paths.
+func runRemote(serverURL string, req *wire.SampleRequest, format, outPath string, stats bool) error {
+	if format == "edgelist" && req.Samples > 1 && outPath != "" && !strings.Contains(outPath, "%d") {
+		return fmt.Errorf("-samples %d needs an -out pattern containing %%d (or -format ndjson)", req.Samples)
+	}
+	ndjsonOut, closeNDJSON, err := openNDJSON(outPath, format)
+	if err != nil {
+		return err
+	}
+	remote := service.NewRemoteBackend(serverURL, nil)
+	err = remote.Sample(context.Background(), req, func(ln wire.Line) error {
+		if ln.Error != "" {
+			return fmt.Errorf("server: %s (%s)", ln.Error, ln.Code)
+		}
+		if stats && ln.Stats != nil {
+			printWireStats(ln.Stats)
+		}
+		switch {
+		case ndjsonOut != nil:
+			return wire.EncodeLine(ndjsonOut, ln)
+		case outPath != "":
+			g, dg, err := ln.Graph()
+			if err != nil {
+				return err
+			}
+			var t gesmc.Target
+			if g != nil {
+				t = g
+			} else {
+				t = dg
+			}
+			path := outPath
+			if req.Samples > 1 {
+				path = strings.ReplaceAll(outPath, "%d", strconv.Itoa(ln.Index))
+			}
+			return writeTarget(path, t)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if ndjsonOut != nil {
+		return closeNDJSON()
+	}
+	return nil
+}
+
+func printWireStats(st *wire.Stats) {
+	fmt.Fprintf(os.Stderr,
+		"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f time=%v",
+		st.Algorithm, st.Supersteps, st.Attempted, st.Accepted,
+		float64(st.Accepted)/float64(st.Attempted), time.Duration(st.DurationNS))
+	if st.Backend != "" {
+		fmt.Fprintf(os.Stderr, " backend=%s", st.Backend)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 // openNDJSON resolves the NDJSON sink: stdout by default, or -out as a

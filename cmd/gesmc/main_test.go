@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gesmc"
+	"gesmc/internal/service"
+	"gesmc/wire"
 )
 
 func TestGenerateSpecs(t *testing.T) {
@@ -63,6 +69,132 @@ func TestLoadTargetFromFile(t *testing.T) {
 	}
 	if _, err := loadTarget(filepath.Join(dir, "missing.txt"), "", 1, false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRemoteRequestShape: the -server path ships the loaded target as
+// an explicit edge list and mirrors the local flag semantics
+// (-supersteps overrides -swaps, directed targets ship arcs).
+func TestRemoteRequestShape(t *testing.T) {
+	g := gesmc.GenerateGrid(2, 3)
+	req := remoteRequest(g, "ParGlobalES", 2, 7, 4, 0, 3, 10, false)
+	if req.Nodes != g.N() || len(req.Edges) != g.M() || req.Directed {
+		t.Fatalf("undirected request: %+v", req)
+	}
+	if req.Samples != 4 || req.Seed != 7 || req.Workers != 2 || req.Thinning != 3 || req.SwapsPerEdge != 10 {
+		t.Fatalf("flags lost: %+v", req)
+	}
+	// Explicit burn-in zeroes SwapsPerEdge, exactly like the local path.
+	req = remoteRequest(g, "SeqES", 1, 1, 1, 50, 0, 10, true)
+	if req.BurnIn != 50 || req.SwapsPerEdge != 0 || !req.Connected {
+		t.Fatalf("burn-in override: %+v", req)
+	}
+
+	dg, err := gesmc.NewDiGraph(3, [][2]uint32{{0, 1}, {1, 2}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req = remoteRequest(dg, "AdjListES", 1, 1, 1, 0, 0, 10, false)
+	if !req.Directed || req.Nodes != 3 || len(req.Edges) != 3 {
+		t.Fatalf("directed request: %+v", req)
+	}
+
+	// The shipped request round-trips through request validation: a
+	// daemon accepts what the CLI sends.
+	if _, err := service.PoolKey(remoteRequest(g, "ParGlobalES", 2, 7, 4, 0, 0, 10, false)); err != nil {
+		t.Fatalf("daemon rejects CLI request: %v", err)
+	}
+}
+
+// TestRunRemoteAgainstDaemon drives the full -server path against a
+// real in-process daemon: NDJSON out, edge-list out with a %d pattern,
+// and the bit-identity of remote samples with an in-process run of the
+// same seeded request.
+func TestRunRemoteAgainstDaemon(t *testing.T) {
+	svc := service.New(service.Config{ID: "d0", WorkerBudget: 4})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	g := gesmc.GenerateGrid(3, 3)
+	req := remoteRequest(g, "ParGlobalES", 2, 7, 3, 0, 0, 10, false)
+
+	// NDJSON sink: one line per sample, backend identity stamped.
+	dir := t.TempDir()
+	ndPath := filepath.Join(dir, "out.ndjson")
+	if err := runRemote(ts.URL, req, "ndjson", ndPath, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ndPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var remote []wire.Line
+	if err := wire.DecodeLines(f, func(ln wire.Line) error {
+		remote = append(remote, ln)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != 3 {
+		t.Fatalf("%d ndjson lines", len(remote))
+	}
+	for _, ln := range remote {
+		if ln.Stats == nil || ln.Stats.Backend != "d0" {
+			t.Fatalf("line without backend identity: %+v", ln)
+		}
+	}
+
+	// Bit-identity with the in-process engine for the same request.
+	sampler, err := gesmc.NewSampler(g, gesmc.WithAlgorithm(gesmc.ParGlobalES),
+		gesmc.WithWorkers(2), gesmc.WithSeed(7), gesmc.WithSwapsPerEdge(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sampler.Close()
+	i := 0
+	for smp := range sampler.Ensemble(context.Background(), 3) {
+		if smp.Err != nil {
+			t.Fatal(smp.Err)
+		}
+		want := wire.FromSample(smp)
+		got := remote[i]
+		if got.Index != want.Index || got.Nodes != want.Nodes ||
+			len(got.Edges) != len(want.Edges) {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, got, want)
+		}
+		for j := range want.Edges {
+			if got.Edges[j] != want.Edges[j] {
+				t.Fatalf("sample %d edge %d: %v vs %v", i, j, got.Edges[j], want.Edges[j])
+			}
+		}
+		i++
+	}
+
+	// Edge-list sink with a %d pattern writes one file per sample.
+	pat := filepath.Join(dir, "s-%d.txt")
+	if err := runRemote(ts.URL, req, "edgelist", pat, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("s-%d.txt", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.TrimSpace(string(b))) == 0 {
+			t.Fatalf("sample file %d empty", i)
+		}
+	}
+	// Multi-sample edge lists without %d are rejected up front.
+	if err := runRemote(ts.URL, req, "edgelist", filepath.Join(dir, "flat.txt"), false); err == nil {
+		t.Fatal("multi-sample edgelist without an index pattern accepted")
+	}
+	// A server-side rejection surfaces as an error, not a silent exit.
+	bad := remoteRequest(g, "ParGlobalES", 1, 1, 1, 0, 0, 10, false)
+	bad.Degrees = []int{3, 1} // conflicting specs → 400
+	if err := runRemote(ts.URL, bad, "ndjson", filepath.Join(dir, "bad.ndjson"), false); err == nil {
+		t.Fatal("invalid request accepted")
 	}
 }
 

@@ -18,6 +18,20 @@
 //	        "degrees": [3,3,2,2,2,1,1], "samples": 100, "seed": 7,
 //	        "algorithm": "ParGlobalES"}' | jq .stats.supersteps
 //
+// With -coordinator, gesmcd serves the same API as the front tier of a
+// sharded cluster instead of sampling itself: requests are
+// consistent-hashed by engine-pool key onto the -backends daemons (so
+// pooled burned-in engines are reused cluster-wide), hot keys are
+// replicated across -replicate shards, dead backends are health-checked
+// out of the ring, and overloaded owners spill to the least-loaded
+// live shard:
+//
+//	gesmcd -addr :8742 &           # shard A
+//	gesmcd -addr :8743 &           # shard B
+//	gesmcd -addr :8740 -coordinator -backends 127.0.0.1:8742,127.0.0.1:8743 &
+//	curl -s http://127.0.0.1:8740/v1/sample -d '{"degrees":[3,2,2,1],"samples":4,"seed":7}' \
+//	        | jq .stats.backend
+//
 // On SIGINT/SIGTERM the daemon stops admitting work, drains in-flight
 // streams (bounded by -drain), and parks every pooled worker gang.
 package main
@@ -33,40 +47,87 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"gesmc/internal/cluster"
 	"gesmc/internal/service"
 )
 
 func main() {
 	var (
 		addr   = flag.String("addr", "127.0.0.1:8742", "listen address (host:port; port 0 picks a free port)")
+		id     = flag.String("id", "", "backend identity stamped on streamed lines and metrics (default: the resolved listen address)")
 		budget = flag.Int("budget", runtime.GOMAXPROCS(0), "global worker budget shared by all jobs")
 		queue  = flag.Int("queue", 64, "admission queue depth; arrivals beyond it get HTTP 429")
 		pool   = flag.Int("pool", 8, "engine pool capacity (0 disables pooling)")
 		drain  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a sampling shard")
+		backends    = flag.String("backends", "", "comma-separated backend URLs (coordinator mode)")
+		replicate   = flag.Int("replicate", 2, "replicas serving one hot key (coordinator mode)")
+		hot         = flag.Int64("hot", 16, "requests per key before it is promoted to replicated service (coordinator mode)")
+		health      = flag.Duration("health", 2*time.Second, "backend health-check interval (coordinator mode)")
 	)
 	flag.Parse()
-
-	svc := service.New(service.Config{
-		WorkerBudget: *budget,
-		QueueLimit:   *queue,
-		PoolCapacity: *pool,
-		NoPooling:    *pool == 0,
-	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("gesmcd: %v", err)
 	}
-	srv := &http.Server{Handler: service.NewHandler(svc)}
+	if *id == "" {
+		*id = ln.Addr().String()
+	}
 
-	// The "listening on" line is load-bearing: scripts (CI smoke, the
-	// examples) scrape the resolved address when -addr used port 0.
-	fmt.Printf("gesmcd: listening on %s (budget=%d queue=%d pool=%d)\n",
-		ln.Addr(), *budget, *queue, *pool)
+	var handler http.Handler
+	var shutdownTier func(ctx context.Context)
+	if *coordinator {
+		var shards []cluster.ShardConfig
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				shards = append(shards, cluster.ShardConfig{URL: u})
+			}
+		}
+		coord, err := cluster.New(cluster.Config{
+			Shards:         shards,
+			ID:             *id,
+			Replication:    *replicate,
+			HotThreshold:   *hot,
+			HealthInterval: *health,
+		})
+		if err != nil {
+			log.Fatalf("gesmcd: %v", err)
+		}
+		// One synchronous probe round so the first requests already
+		// route around backends that were down at boot.
+		coord.CheckHealth(context.Background())
+		handler = service.NewBackendHandler(coord)
+		shutdownTier = func(context.Context) { coord.Close() }
+		// The "listening on" line is load-bearing: scripts (CI smoke,
+		// the examples) scrape the resolved address when -addr used
+		// port 0.
+		fmt.Printf("gesmcd: listening on %s (coordinator over %d backends, replicate=%d hot=%d)\n",
+			ln.Addr(), len(shards), *replicate, *hot)
+	} else {
+		svc := service.New(service.Config{
+			ID:           *id,
+			WorkerBudget: *budget,
+			QueueLimit:   *queue,
+			PoolCapacity: *pool,
+			NoPooling:    *pool == 0,
+		})
+		handler = service.NewHandler(svc)
+		shutdownTier = func(ctx context.Context) {
+			if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("gesmcd: job drain: %v", err)
+			}
+		}
+		fmt.Printf("gesmcd: listening on %s (budget=%d queue=%d pool=%d)\n",
+			ln.Addr(), *budget, *queue, *pool)
+	}
 
+	srv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 
@@ -82,12 +143,11 @@ func main() {
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop accepting connections and wait for handlers, then drain the
-	// job layer and park every pooled gang.
+	// job layer (parking every pooled gang) or stop the coordinator's
+	// health loop.
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("gesmcd: http shutdown: %v", err)
 	}
-	if err := svc.Shutdown(dctx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("gesmcd: job drain: %v", err)
-	}
+	shutdownTier(dctx)
 	log.Printf("gesmcd: bye")
 }

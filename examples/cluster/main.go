@@ -1,0 +1,117 @@
+// Example cluster: the sharded sampling tier in one process. It boots
+// two gesmcd-equivalent shards on loopback ports, puts a coordinator
+// in front of them, and pushes a mix of requests through — printing,
+// per request, which shard the consistent-hash ring placed it on and
+// how the engine pools fill up. One target is requested repeatedly
+// past the hot threshold, so the run also shows a key being promoted
+// to replicated service across both shards.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"gesmc/internal/cluster"
+	"gesmc/internal/service"
+	"gesmc/wire"
+)
+
+// bootShard starts one sampling daemon on an ephemeral loopback port
+// and returns its URL plus a shutdown function.
+func bootShard(id string) (string, func()) {
+	svc := service.New(service.Config{ID: id, WorkerBudget: 4, PoolCapacity: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		srv.Shutdown(context.Background())
+		svc.Shutdown(context.Background())
+	}
+}
+
+func main() {
+	urlA, stopA := bootShard("shard-a")
+	defer stopA()
+	urlB, stopB := bootShard("shard-b")
+	defer stopB()
+
+	coord, err := cluster.New(cluster.Config{
+		Shards: []cluster.ShardConfig{
+			{ID: "shard-a", URL: urlA},
+			{ID: "shard-b", URL: urlB},
+		},
+		ID:             "coordinator",
+		Replication:    2,
+		HotThreshold:   4, // low, so the demo promotes quickly
+		HealthInterval: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	// A spread of cold targets: each seed is a distinct pool key, so
+	// the ring scatters them across the shards deterministically.
+	fmt.Println("cold keys (one ring owner each):")
+	for seed := uint64(1); seed <= 6; seed++ {
+		req := &wire.SampleRequest{Degrees: []int{4, 3, 3, 2, 2, 2, 1, 1}, Samples: 2, Seed: seed}
+		backend, err := run(coord, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  seed=%d -> %s\n", seed, backend)
+	}
+
+	// One hot target: requested past HotThreshold, it round-robins
+	// over the replica set instead of pinning to its single owner.
+	fmt.Println("hot key (promoted to replicated service):")
+	hot := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 1, Seed: 42}
+	served := map[string]int{}
+	for i := 0; i < 10; i++ {
+		backend, err := run(coord, hot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		served[backend]++
+	}
+	for id, n := range served {
+		fmt.Printf("  %s served %d of 10\n", id, n)
+	}
+
+	m, err := coord.Metrics(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routing: owner=%d replica=%d spill=%d\n",
+		m.Cluster.RoutedOwner, m.Cluster.RoutedReplica, m.Cluster.RoutedSpill)
+	for _, sh := range m.Cluster.Shards {
+		fmt.Printf("shard %s: alive=%v requests=%d\n", sh.ID, sh.Alive, sh.Requests)
+	}
+	for _, hk := range m.Cluster.HotKeys {
+		fmt.Printf("hot key %s: %d requests\n", hk.Key, hk.Hits)
+	}
+}
+
+// run streams one request through the coordinator and returns the
+// backend identity stamped on its lines.
+func run(coord *cluster.Coordinator, req *wire.SampleRequest) (string, error) {
+	backend := ""
+	err := coord.Sample(context.Background(), req, func(ln wire.Line) error {
+		if ln.Error != "" {
+			return fmt.Errorf("stream terminated: %s (%s)", ln.Error, ln.Code)
+		}
+		if ln.Stats != nil {
+			backend = ln.Stats.Backend
+		}
+		return nil
+	})
+	return backend, err
+}

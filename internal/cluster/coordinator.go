@@ -1,0 +1,451 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gesmc/internal/service"
+	"gesmc/wire"
+)
+
+// ShardConfig names one gesmcd backend.
+type ShardConfig struct {
+	// ID is the shard's ring identity; it must be stable across
+	// coordinator restarts for keys to keep their owners. Empty
+	// defaults to URL.
+	ID string
+	// URL is the backend's base URL ("host:port" gets http://).
+	URL string
+}
+
+// Config sizes the coordinator. Zero values select the defaults.
+type Config struct {
+	// Shards is the backend set; at least one is required.
+	Shards []ShardConfig
+	// ID is the coordinator's own identity, exported in Metrics.
+	ID string
+	// Replication R is the maximum number of shards serving one hot
+	// key (default 2). Cold keys always route to their single ring
+	// owner, keeping placement deterministic.
+	Replication int
+	// HotThreshold is the routed-request count at which a key is
+	// promoted to replicated service (default 16).
+	HotThreshold int64
+	// VNodes is the number of ring points per shard (default 64).
+	VNodes int
+	// HealthInterval is the background health-check period (default
+	// 2s; negative disables the loop — CheckHealth can still be called
+	// explicitly).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// Client issues all backend requests (nil = http.DefaultClient).
+	// Streams live as long as their request contexts, so it must not
+	// carry a global timeout.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.HotThreshold <= 0 {
+		c.HotThreshold = 16
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	return c
+}
+
+// shard is one backend plus its routing state.
+type shard struct {
+	id      string
+	backend *service.RemoteBackend
+
+	alive    atomic.Bool
+	inflight atomic.Int64
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Coordinator routes sampling requests across a ring of remote gesmcd
+// backends by engine-pool key and implements service.Backend, so it
+// serves the same HTTP/NDJSON protocol via service.NewBackendHandler.
+//
+// Routing policy, in order:
+//
+//  1. Cold keys go to their ring owner — deterministic placement, so
+//     every same-key request finds the shard holding its burned-in
+//     pooled engine.
+//  2. Keys routed HotThreshold+ times are served by their first R ring
+//     successors round-robin, trading a little pool locality (each
+//     replica burns in its own engine once) for R-way throughput on
+//     the keys that dominate traffic.
+//  3. A dead owner is skipped by the ring itself (keys re-hash to the
+//     next live successor); an owner answering 429/503 — or dying
+//     before its first line — spills to the remaining candidates:
+//     first the other replicas in ring order, then every other live
+//     shard, least-loaded first.
+//
+// Lines stream through transparently; a backend that dies after its
+// first line cannot be failed over (the client already holds a prefix
+// of that engine's chain), so the failure is surfaced as the protocol's
+// in-band error line and the shard is marked dead for later requests.
+type Coordinator struct {
+	cfg    Config
+	ring   *ring
+	shards []*shard
+	start  time.Time
+
+	hotMu   sync.Mutex
+	hotKeys map[uint64]int64
+
+	routedOwner   atomic.Int64
+	routedReplica atomic.Int64
+	routedSpill   atomic.Int64
+	midstream     atomic.Int64
+	evictions     atomic.Int64
+	revivals      atomic.Int64
+	failed        atomic.Int64
+	samples       atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// maxHotKeys bounds the promotion counter map, like the engine pool's
+// tracker: on saturation it resets and re-warms on the actually hot
+// keys.
+const maxHotKeys = 65536
+
+// New builds a Coordinator and, unless disabled, starts its health
+// loop. All shards start alive; the first health round (run CheckHealth
+// for a synchronous one) corrects that optimism.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("cluster: no shards configured")
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		start:   time.Now(),
+		hotKeys: make(map[uint64]int64),
+		stop:    make(chan struct{}),
+	}
+	ids := make([]string, len(cfg.Shards))
+	seen := make(map[string]bool, len(cfg.Shards))
+	for i, sc := range cfg.Shards {
+		b := service.NewRemoteBackend(sc.URL, cfg.Client)
+		id := sc.ID
+		if id == "" {
+			id = b.URL()
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", id)
+		}
+		seen[id] = true
+		ids[i] = id
+		sh := &shard{id: id, backend: b}
+		sh.alive.Store(true)
+		c.shards = append(c.shards, sh)
+	}
+	c.ring = newRing(ids, cfg.VNodes)
+	if cfg.HealthInterval > 0 {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// Close stops the health loop. In-flight streams are unaffected (they
+// run on the caller's contexts).
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.CheckHealth(context.Background())
+		}
+	}
+}
+
+// CheckHealth probes every shard once (bounded by ProbeTimeout each)
+// and updates the live set: a shard is alive when /v1/healthz answers
+// "ok" — a draining daemon (503) is routed around just like a dead
+// one, since it refuses new work anyway. Evicting a shard re-hashes
+// its keys to their next live ring successor; a recovered shard takes
+// its arcs back on revival.
+func (c *Coordinator) CheckHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := sh.backend.Health(pctx)
+			c.setAlive(sh, err == nil && h.Status == "ok")
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (c *Coordinator) setAlive(sh *shard, alive bool) {
+	if alive {
+		if sh.alive.CompareAndSwap(false, true) {
+			c.revivals.Add(1)
+		}
+	} else if sh.alive.CompareAndSwap(true, false) {
+		c.evictions.Add(1)
+	}
+}
+
+// noteKey bumps the key's routed count and reports whether the key is
+// hot (at or beyond the promotion threshold) plus the count, which
+// rotates the replica choice.
+func (c *Coordinator) noteKey(key uint64) (int64, bool) {
+	c.hotMu.Lock()
+	defer c.hotMu.Unlock()
+	if len(c.hotKeys) >= maxHotKeys {
+		c.hotKeys = make(map[uint64]int64)
+	}
+	c.hotKeys[key]++
+	n := c.hotKeys[key]
+	return n, n >= c.cfg.HotThreshold
+}
+
+// routeClass labels how a request reached its serving shard.
+type routeClass uint8
+
+const (
+	routeOwner routeClass = iota
+	routeReplica
+	routeSpill
+)
+
+type candidate struct {
+	sh    *shard
+	class routeClass
+}
+
+// candidates orders the shards to try for key: the owner (or the hot
+// key's rotated replica set), then every other live shard as spill
+// targets, least-loaded first.
+func (c *Coordinator) candidates(key uint64, seq int64, hot bool) []candidate {
+	aliveFn := func(i int) bool { return c.shards[i].alive.Load() }
+	want := 1
+	if hot {
+		want = c.cfg.Replication
+	}
+	owners := c.ring.owners(key, want, aliveFn)
+	out := make([]candidate, 0, len(c.shards))
+	inOwners := make(map[*shard]bool, len(owners))
+	// Rotate the replica set by the routed count so a hot key's
+	// requests round-robin across its replicas; with one owner the
+	// rotation is the identity.
+	for i := range owners {
+		sh := c.shards[owners[(int(seq)+i)%len(owners)]]
+		class := routeOwner
+		if hot && len(owners) > 1 && i != 0 {
+			// Positions after the rotated head are fallbacks; the head
+			// itself is the replica this request is assigned to.
+			class = routeSpill
+		}
+		if i == 0 && hot && len(owners) > 1 {
+			class = routeReplica
+		}
+		inOwners[sh] = true
+		out = append(out, candidate{sh: sh, class: class})
+	}
+	var rest []candidate
+	for i, sh := range c.shards {
+		if !inOwners[sh] && aliveFn(i) {
+			rest = append(rest, candidate{sh: sh, class: routeSpill})
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		return rest[a].sh.inflight.Load() < rest[b].sh.inflight.Load()
+	})
+	return append(out, rest...)
+}
+
+// Sample routes one request: hash the engine-pool key onto the ring,
+// then try candidates in order until one streams the ensemble. Only
+// pre-stream failures fail over; see the type comment for the policy.
+func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
+	key, err := service.PoolKey(req)
+	if err != nil {
+		return err
+	}
+	seq, hot := c.noteKey(key)
+	cands := c.candidates(key, seq-1, hot)
+	if len(cands) == 0 {
+		c.failed.Add(1)
+		return &service.BackendError{Backend: c.cfg.ID, Op: "route", Err: errors.New("no live shards")}
+	}
+
+	delivered := 0
+	var lastErr error
+	for _, cand := range cands {
+		sh := cand.sh
+		sh.requests.Add(1)
+		sh.inflight.Add(1)
+		err := sh.backend.Sample(ctx, req, func(ln wire.Line) error {
+			if ln.Stats != nil && ln.Stats.Backend == "" {
+				ln.Stats.Backend = sh.id
+			}
+			if ln.Error == "" {
+				c.samples.Add(1)
+			}
+			delivered++
+			return emit(ln)
+		})
+		sh.inflight.Add(-1)
+		if err == nil {
+			switch cand.class {
+			case routeOwner:
+				c.routedOwner.Add(1)
+			case routeReplica:
+				c.routedReplica.Add(1)
+			default:
+				c.routedSpill.Add(1)
+			}
+			return nil
+		}
+		lastErr = err
+
+		// The caller's own cancellation (or its emit failing) is not a
+		// shard fault; a bad request would be rejected identically
+		// everywhere.
+		if ctx.Err() != nil || errors.Is(err, service.ErrBadRequest) {
+			c.failed.Add(1)
+			return err
+		}
+		var se *service.StreamError
+		if errors.As(err, &se) {
+			// The backend terminated in-band (its line is already
+			// forwarded): the stream is complete as far as the protocol
+			// goes; do not re-route, do not double-terminate.
+			sh.errors.Add(1)
+			c.failed.Add(1)
+			return err
+		}
+		if errors.Is(err, service.ErrBackend) {
+			// Transport failure: the shard is gone until a health probe
+			// says otherwise; its keys re-hash to live successors.
+			sh.errors.Add(1)
+			c.setAlive(sh, false)
+		} else if errors.Is(err, service.ErrOverloaded) || errors.Is(err, service.ErrShuttingDown) {
+			// Skew or drain on the owner: spill without evicting.
+			sh.errors.Add(1)
+		} else {
+			// Unclassified failure (backend bug): count it and try the
+			// next candidate anyway.
+			sh.errors.Add(1)
+		}
+		if delivered > 0 {
+			// Mid-stream death: the client already holds a prefix of
+			// this engine's chain, so failover would splice two
+			// different chains. Terminate in-band instead, exactly as a
+			// single daemon's Service does.
+			c.midstream.Add(1)
+			c.failed.Add(1)
+			emit(wire.Line{
+				Index: delivered,
+				Error: fmt.Sprintf("backend %s failed mid-stream: %v", sh.id, err),
+				Code:  "backend",
+			})
+			return err
+		}
+	}
+	c.failed.Add(1)
+	return lastErr
+}
+
+// Health reports "ok" while at least one shard is live.
+func (c *Coordinator) Health(context.Context) (wire.Health, error) {
+	status := "unavailable"
+	for _, sh := range c.shards {
+		if sh.alive.Load() {
+			status = "ok"
+			break
+		}
+	}
+	return wire.Health{Status: status, UptimeMS: time.Since(c.start).Milliseconds()}, nil
+}
+
+// Metrics exports the coordinator's routing counters and per-shard
+// placement view. Shard-local detail (pool hit rates, queue depths)
+// stays on the shards' own /v1/metrics endpoints.
+func (c *Coordinator) Metrics(context.Context) (wire.Metrics, error) {
+	cm := &wire.ClusterMetrics{
+		RoutedOwner:       c.routedOwner.Load(),
+		RoutedReplica:     c.routedReplica.Load(),
+		RoutedSpill:       c.routedSpill.Load(),
+		MidstreamFailures: c.midstream.Load(),
+		Evictions:         c.evictions.Load(),
+		Revivals:          c.revivals.Load(),
+	}
+	var inflight int64
+	for _, sh := range c.shards {
+		infl := sh.inflight.Load()
+		inflight += infl
+		cm.Shards = append(cm.Shards, wire.ShardMetrics{
+			ID:       sh.id,
+			URL:      sh.backend.URL(),
+			Alive:    sh.alive.Load(),
+			Inflight: infl,
+			Requests: sh.requests.Load(),
+			Errors:   sh.errors.Load(),
+		})
+	}
+	c.hotMu.Lock()
+	for key, n := range c.hotKeys {
+		if n >= c.cfg.HotThreshold {
+			cm.HotKeys = append(cm.HotKeys, wire.KeyHits{Key: fmt.Sprintf("%016x", key), Hits: n})
+		}
+	}
+	c.hotMu.Unlock()
+	sort.Slice(cm.HotKeys, func(i, j int) bool {
+		if cm.HotKeys[i].Hits != cm.HotKeys[j].Hits {
+			return cm.HotKeys[i].Hits > cm.HotKeys[j].Hits
+		}
+		return cm.HotKeys[i].Key < cm.HotKeys[j].Key
+	})
+	if len(cm.HotKeys) > 8 {
+		cm.HotKeys = cm.HotKeys[:8]
+	}
+	routed := cm.RoutedOwner + cm.RoutedReplica + cm.RoutedSpill
+	return wire.Metrics{
+		Backend:          c.cfg.ID,
+		RequestsTotal:    routed,
+		RequestsInflight: inflight,
+		RequestsFailed:   c.failed.Load(),
+		SamplesTotal:     c.samples.Load(),
+		UptimeMS:         time.Since(c.start).Milliseconds(),
+		Cluster:          cm,
+	}, nil
+}

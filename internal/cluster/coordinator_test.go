@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gesmc/internal/service"
+	"gesmc/wire"
+)
+
+// testShard boots one real sampling daemon (service + HTTP) and
+// returns its server; cleanup shuts both down.
+func testShard(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{ID: id, WorkerBudget: 4, PoolCapacity: 4})
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Shutdown(context.Background())
+	})
+	return ts
+}
+
+// testCoordinator builds a coordinator over the given shard servers
+// with the background health loop disabled (tests drive CheckHealth
+// explicitly for determinism). Ring shard IDs are shard-0, shard-1, …
+// in argument order; real daemons stamp their own service ID into
+// Stats.Backend, so tests that assert placement must boot daemons
+// whose IDs match their ring position.
+func testCoordinator(t *testing.T, cfg Config, shards ...*httptest.Server) *Coordinator {
+	t.Helper()
+	for i, ts := range shards {
+		cfg.Shards = append(cfg.Shards, ShardConfig{ID: fmt.Sprintf("shard-%d", i), URL: ts.URL})
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = -1
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func collect(t *testing.T, b service.Backend, req *wire.SampleRequest) []wire.Line {
+	t.Helper()
+	lines, err := collectErr(b, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func collectErr(b service.Backend, req *wire.SampleRequest) ([]wire.Line, error) {
+	var lines []wire.Line
+	err := b.Sample(context.Background(), req, func(ln wire.Line) error {
+		lines = append(lines, ln)
+		return nil
+	})
+	return lines, err
+}
+
+// payload reduces lines to their sample content for bit-identity
+// comparison (stats carry durations and placement).
+func payload(lines []wire.Line) string {
+	s := ""
+	for _, ln := range lines {
+		s += fmt.Sprintf("%d/%d/%v/%v/%s;", ln.Index, ln.Nodes, ln.Directed, ln.Edges, ln.Error)
+	}
+	return s
+}
+
+// seedOwnedBy searches for a request seed whose pool key hashes onto
+// the given shard (with every shard alive).
+func seedOwnedBy(t *testing.T, c *Coordinator, shardIdx int, req wire.SampleRequest) wire.SampleRequest {
+	t.Helper()
+	for seed := uint64(1); seed < 4096; seed++ {
+		req.Seed = seed
+		key, err := service.PoolKey(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owners := c.ring.owners(key, 1, nil); len(owners) == 1 && owners[0] == shardIdx {
+			return req
+		}
+	}
+	t.Fatalf("no seed found owned by shard %d", shardIdx)
+	return req
+}
+
+// TestDifferentialAcrossTiers is the acceptance gate: one seeded
+// request served (a) in-process via LocalBackend, (b) through one
+// remote gesmcd, and (c) through a coordinator over two backends
+// yields bit-identical NDJSON sample lines.
+func TestDifferentialAcrossTiers(t *testing.T) {
+	req := &wire.SampleRequest{Degrees: []int{4, 3, 3, 2, 2, 2, 1, 1}, Samples: 5, Seed: 7, Workers: 2}
+
+	// (a) Local.
+	svc := service.New(service.Config{WorkerBudget: 4})
+	defer svc.Shutdown(context.Background())
+	local := collect(t, service.NewLocalBackend(svc), req)
+
+	// (b) One remote daemon (fresh service: same cold-pool chain).
+	remote := collect(t, service.NewRemoteBackend(testShard(t, "solo").URL, nil), req)
+
+	// (c) Coordinator over two fresh daemons.
+	coord := testCoordinator(t, Config{}, testShard(t, "a"), testShard(t, "b"))
+	viaCoord := collect(t, coord, req)
+
+	if payload(local) != payload(remote) {
+		t.Fatalf("local vs remote:\n%s\n%s", payload(local), payload(remote))
+	}
+	if payload(local) != payload(viaCoord) {
+		t.Fatalf("local vs coordinator:\n%s\n%s", payload(local), payload(viaCoord))
+	}
+	if len(viaCoord) != 5 {
+		t.Fatalf("%d lines", len(viaCoord))
+	}
+	// Placement is observable on every coordinated line, and constant
+	// within a stream (one request never splits across shards).
+	first := viaCoord[0].Stats.Backend
+	if first == "" {
+		t.Fatal("no backend identity on coordinated line")
+	}
+	for _, ln := range viaCoord {
+		if ln.Stats.Backend != first {
+			t.Fatalf("stream split across shards: %s vs %s", ln.Stats.Backend, first)
+		}
+	}
+}
+
+// TestCoordinatorDeterministicRouting: placement is a pure function of
+// the pool key and the live shard set — two coordinators over the same
+// shard IDs agree on every request, and repeat requests stick to their
+// shard (that is what makes pooled engines reusable cluster-wide).
+func TestCoordinatorDeterministicRouting(t *testing.T) {
+	sa, sb := testShard(t, "shard-0"), testShard(t, "shard-1")
+	c1 := testCoordinator(t, Config{}, sa, sb)
+	c2 := testCoordinator(t, Config{}, sa, sb)
+
+	base := wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 1}
+	for seed := uint64(1); seed <= 10; seed++ {
+		req := base
+		req.Seed = seed
+		b1 := collect(t, c1, &req)[0].Stats.Backend
+		b2 := collect(t, c2, &req)[0].Stats.Backend
+		if b1 == "" || b1 != b2 {
+			t.Fatalf("seed %d: coordinators disagree: %q vs %q", seed, b1, b2)
+		}
+		// Same key again → same shard (pool hit on that shard).
+		if again := collect(t, c1, &req)[0].Stats.Backend; again != b1 {
+			t.Fatalf("seed %d: repeat request moved %q → %q", seed, b1, again)
+		}
+		// And the placement matches the ring prediction.
+		key, err := service.PoolKey(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c1.shards[c1.ring.owners(key, 1, nil)[0]].id
+		if b1 != want {
+			t.Fatalf("seed %d: served by %q, ring owner %q", seed, b1, want)
+		}
+	}
+	m, _ := c1.Metrics(context.Background())
+	if m.Cluster == nil || m.Cluster.RoutedOwner != 20 || m.Cluster.RoutedSpill != 0 {
+		t.Fatalf("cluster metrics: %+v", m.Cluster)
+	}
+}
+
+// dyingShard is a fake daemon that streams okLines sample lines and
+// then resets the connection — the mid-stream backend kill.
+func dyingShard(t *testing.T, okLines int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := 0; i < okLines; i++ {
+			enc.Encode(wire.Line{Index: i, Nodes: 3, Edges: [][2]uint32{{0, 1}, {1, 2}}, Stats: &wire.Stats{}})
+		}
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.Health{Status: "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoordinatorFailoverMidStream: kill a backend mid-stream and
+// assert the client sees the delivered prefix terminated by an in-band
+// error line, the shard is evicted, and subsequent requests re-hash to
+// the live shard deterministically.
+func TestCoordinatorFailoverMidStream(t *testing.T) {
+	dying := dyingShard(t, 2)
+	live := testShard(t, "shard-1")
+	// Shard order: 0 = dying, 1 = live.
+	c := testCoordinator(t, Config{}, dying, live)
+	liveID, dyingID := c.shards[1].id, c.shards[0].id
+
+	req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{2, 2, 1, 1}, Samples: 5})
+	lines, err := collectErr(c, &req)
+	if !errors.Is(err, service.ErrBackend) {
+		t.Fatalf("err=%v, want ErrBackend", err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 2 samples + 1 error line: %+v", len(lines), lines)
+	}
+	last := lines[2]
+	if last.Error == "" || last.Code != "backend" || last.Index != 2 {
+		t.Fatalf("in-band terminator: %+v", last)
+	}
+	for _, ln := range lines[:2] {
+		if ln.Error != "" || ln.Stats == nil || ln.Stats.Backend != dyingID {
+			t.Fatalf("prefix line: %+v", ln)
+		}
+	}
+
+	// The transport failure evicted the shard; everything it owned
+	// re-hashes to the live shard — deterministically, repeat runs
+	// agree.
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.Evictions != 1 || m.Cluster.MidstreamFailures != 1 {
+		t.Fatalf("cluster metrics after kill: %+v", m.Cluster)
+	}
+	for round := 0; round < 2; round++ {
+		for seed := uint64(1); seed <= 6; seed++ {
+			r := req
+			r.Seed = seed
+			got := collect(t, c, &r)
+			if len(got) != 5 {
+				t.Fatalf("seed %d: %d lines", seed, len(got))
+			}
+			for _, ln := range got {
+				if ln.Error != "" || ln.Stats.Backend != liveID {
+					t.Fatalf("seed %d after eviction: %+v", seed, ln)
+				}
+			}
+		}
+	}
+}
+
+// fixedStatusShard always answers /v1/sample with one HTTP status —
+// the overloaded (429) and draining (503) owners of the spill policy.
+func fixedStatusShard(t *testing.T, code int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(wire.Error{Error: "synthetic", Code: "overloaded"})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(wire.Health{Status: "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoordinatorSpillOnOverload: a 429 from the owner spills the
+// request to another live shard without evicting the owner.
+func TestCoordinatorSpillOnOverload(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		busy := fixedStatusShard(t, code)
+		live := testShard(t, "shard-1")
+		c := testCoordinator(t, Config{}, busy, live)
+
+		req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{2, 2, 1, 1}, Samples: 2})
+		lines := collect(t, c, &req)
+		if len(lines) != 2 || lines[0].Stats.Backend != c.shards[1].id {
+			t.Fatalf("status %d: spilled lines: %+v", code, lines)
+		}
+		m, _ := c.Metrics(context.Background())
+		if m.Cluster.RoutedSpill != 1 {
+			t.Fatalf("status %d: routed_spill=%d, want 1", code, m.Cluster.RoutedSpill)
+		}
+		// Overload is not death: the shard stays in the ring.
+		if !m.Cluster.Shards[0].Alive || m.Cluster.Evictions != 0 {
+			t.Fatalf("status %d: overloaded shard evicted: %+v", code, m.Cluster)
+		}
+	}
+}
+
+// TestCoordinatorHotKeyReplication: a key routed past HotThreshold is
+// served round-robin by its replica set, spreading one hot target over
+// R shards.
+func TestCoordinatorHotKeyReplication(t *testing.T) {
+	sa, sb := testShard(t, "a"), testShard(t, "b")
+	c := testCoordinator(t, Config{Replication: 2, HotThreshold: 3}, sa, sb)
+
+	req := wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 1, Seed: 42}
+	served := map[string]int{}
+	for i := 0; i < 8; i++ {
+		served[collect(t, c, &req)[0].Stats.Backend]++
+	}
+	if len(served) != 2 {
+		t.Fatalf("hot key stayed on one shard: %v", served)
+	}
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.RoutedReplica == 0 {
+		t.Fatalf("no replica-routed requests: %+v", m.Cluster)
+	}
+	if len(m.Cluster.HotKeys) != 1 || m.Cluster.HotKeys[0].Hits != 8 {
+		t.Fatalf("hot keys: %+v", m.Cluster.HotKeys)
+	}
+	// Cold keys stayed deterministic all along: below the threshold a
+	// second coordinator agrees with the first on a fresh key.
+	cold := wire.SampleRequest{Degrees: []int{2, 1, 1}, Samples: 1, Seed: 5}
+	c2 := testCoordinator(t, Config{Replication: 2, HotThreshold: 3}, sa, sb)
+	if b1, b2 := collect(t, c, &cold)[0].Stats.Backend, collect(t, c2, &cold)[0].Stats.Backend; b1 != b2 {
+		t.Fatalf("cold key diverged: %q vs %q", b1, b2)
+	}
+}
+
+// TestCoordinatorHealthEviction: a dead backend is evicted by the
+// health check, the coordinator stays healthy on the survivors, and a
+// request for a key owned by the dead shard is served (the single-
+// backend-eviction half of the acceptance gate). All shards dead →
+// 502-class error and "unavailable" health.
+func TestCoordinatorHealthEviction(t *testing.T) {
+	dead := testShard(t, "shard-0")
+	live := testShard(t, "shard-1")
+	c := testCoordinator(t, Config{}, dead, live)
+	c.CheckHealth(context.Background())
+	if h, _ := c.Health(context.Background()); h.Status != "ok" {
+		t.Fatalf("health %+v", h)
+	}
+
+	req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{2, 2, 1, 1}, Samples: 2})
+	dead.Close() // kill shard 0 entirely
+	c.CheckHealth(context.Background())
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.Shards[0].Alive || !m.Cluster.Shards[1].Alive {
+		t.Fatalf("live set after kill: %+v", m.Cluster.Shards)
+	}
+	if h, _ := c.Health(context.Background()); h.Status != "ok" {
+		t.Fatalf("coordinator unhealthy with a live shard: %+v", h)
+	}
+
+	lines := collect(t, c, &req)
+	if len(lines) != 2 || lines[0].Stats.Backend != c.shards[1].id {
+		t.Fatalf("post-eviction lines: %+v", lines)
+	}
+
+	live.Close()
+	c.CheckHealth(context.Background())
+	if h, _ := c.Health(context.Background()); h.Status == "ok" {
+		t.Fatal("healthy with zero live shards")
+	}
+	if _, err := collectErr(c, &req); !errors.Is(err, service.ErrBackend) {
+		t.Fatalf("all-dead err=%v, want ErrBackend", err)
+	}
+}
+
+// TestCoordinatorOverHTTP serves the coordinator through the same
+// NewBackendHandler the daemons use and checks the full wire surface:
+// streamed placement-stamped lines, 400 passthrough, cluster metrics.
+func TestCoordinatorOverHTTP(t *testing.T) {
+	c := testCoordinator(t, Config{ID: "coord"}, testShard(t, "a"), testShard(t, "b"))
+	front := httptest.NewServer(service.NewBackendHandler(c))
+	defer front.Close()
+	client := service.NewRemoteBackend(front.URL, nil)
+
+	req := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 3, Seed: 4}
+	lines, err := collectErr(client, req)
+	if err != nil || len(lines) != 3 {
+		t.Fatalf("lines=%d err=%v", len(lines), err)
+	}
+	if lines[0].Stats.Backend == "" {
+		t.Fatal("no placement identity through HTTP front")
+	}
+	if _, err := collectErr(client, &wire.SampleRequest{Degrees: []int{3, 1}}); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("bad request through front: %v", err)
+	}
+	m, err := client.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Backend != "coord" || m.Cluster == nil || len(m.Cluster.Shards) != 2 {
+		t.Fatalf("front metrics: %+v", m)
+	}
+	h, err := client.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("front health %+v err %v", h, err)
+	}
+}

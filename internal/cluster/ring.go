@@ -1,0 +1,97 @@
+// Package cluster is the horizontal scale-out tier of the sampling
+// service: a coordinator that consistent-hashes requests by their
+// engine-pool key onto a ring of gesmcd backends, so pooled burned-in
+// engines are reused cluster-wide — the 0.94 single-process pool hit
+// rate is the asset the routing protects. Hot keys are replicated
+// across up to R shards, dead backends are health-checked out of the
+// ring (their keys re-hash to the next live successor), and overloaded
+// or draining owners spill to the least-loaded live shard. The
+// coordinator implements service.Backend, so service.NewBackendHandler
+// serves it over the exact HTTP/NDJSON protocol the daemons speak —
+// coordinators stack transparently in front of daemons (and, in
+// principle, of other coordinators).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring: every shard contributes vnodes
+// points hashed from "id#vnode", and a key is owned by the first live
+// shard at or clockwise-after the key's position. Removing a shard
+// moves only its own arcs to their successors — every other key keeps
+// its owner, which is what preserves pooled-engine locality across
+// membership changes.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// mix64 is the SplitMix64 finalizer: FNV over short strings with
+// sequential vnode suffixes leaves the high bits clustered, which
+// skews arc lengths badly; the finalizer spreads the points evenly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashPoint(id string, vnode int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", id, vnode)
+	return mix64(h.Sum64())
+}
+
+// newRing builds the ring from the shard IDs, vnodes points each.
+// Ties (FNV collisions between points) break by shard index so the
+// ring is identical on every coordinator given the same ID list.
+func newRing(ids []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*vnodes), shards: len(ids)}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashPoint(id, v), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// owners walks clockwise from key's successor point and returns the
+// first want distinct shards passing alive, in ring order. Dead shards
+// are skipped entirely — that is the deterministic re-hash on
+// eviction — and fewer than want shards come back when the live set is
+// smaller.
+func (r *ring) owners(key uint64, want int, alive func(int) bool) []int {
+	if len(r.points) == 0 || want <= 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make([]bool, r.shards)
+	out := make([]int, 0, want)
+	for k := 0; k < len(r.points) && len(out) < want; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if seen[p.shard] {
+			continue
+		}
+		seen[p.shard] = true
+		if alive == nil || alive(p.shard) {
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func keysFor(n int) []uint64 {
+	keys := make([]uint64, n)
+	// SplitMix64-style sequence: well-spread, deterministic.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range keys {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		keys[i] = z ^ (z >> 31)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	ids := []string{"a", "b", "c", "d"}
+	r1 := newRing(ids, 64)
+	r2 := newRing(ids, 64)
+	counts := make([]int, len(ids))
+	for _, k := range keysFor(4000) {
+		o1 := r1.owners(k, 1, nil)
+		o2 := r2.owners(k, 1, nil)
+		if len(o1) != 1 || len(o2) != 1 || o1[0] != o2[0] {
+			t.Fatalf("key %x: owners %v vs %v", k, o1, o2)
+		}
+		counts[o1[0]]++
+	}
+	// 64 vnodes keep the split rough but nobody starves or hogs.
+	for i, c := range counts {
+		if c < 400 || c > 2200 {
+			t.Fatalf("shard %d owns %d of 4000 keys: %v", i, c, counts)
+		}
+	}
+}
+
+// TestRingRehashOnEviction is the consistency property the engine-pool
+// locality rides on: killing one shard moves only its own keys (to
+// their next live successor) — every other key keeps its owner.
+func TestRingRehashOnEviction(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	r := newRing(ids, 64)
+	keys := keysFor(2000)
+	before := make([]int, len(keys))
+	for i, k := range keys {
+		before[i] = r.owners(k, 1, nil)[0]
+	}
+	const dead = 1
+	alive := func(i int) bool { return i != dead }
+	moved := 0
+	for i, k := range keys {
+		o := r.owners(k, 1, alive)
+		if len(o) != 1 {
+			t.Fatalf("key %x: no owner with one shard dead", k)
+		}
+		if o[0] == dead {
+			t.Fatalf("key %x routed to the dead shard", k)
+		}
+		if before[i] != dead && o[0] != before[i] {
+			t.Fatalf("key %x moved from live shard %d to %d", k, before[i], o[0])
+		}
+		if before[i] == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead shard owned no keys; test is vacuous")
+	}
+}
+
+func TestRingOwnersDistinctAndOrdered(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	r := newRing(ids, 32)
+	for _, k := range keysFor(200) {
+		owners := r.owners(k, 3, nil)
+		if len(owners) != 3 {
+			t.Fatalf("key %x: owners %v", k, owners)
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %x: duplicate owner in %v", k, owners)
+			}
+			seen[o] = true
+		}
+		// Asking for more than exist caps at the shard count.
+		if got := r.owners(k, 5, nil); len(got) != 3 {
+			t.Fatalf("key %x: want capped owners, got %v", k, got)
+		}
+		// Replica sets are prefixes: the 2-owner list is the head of
+		// the 3-owner list, so promotion only adds shards.
+		two := r.owners(k, 2, nil)
+		if two[0] != owners[0] || two[1] != owners[1] {
+			t.Fatalf("key %x: replica prefix broken: %v vs %v", k, two, owners)
+		}
+	}
+	// No live shards → no owners.
+	if got := newRing(ids, 8).owners(42, 2, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("owners with all dead: %v", got)
+	}
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"gesmc/wire"
+)
+
+// Backend is the serving abstraction the HTTP layer, the CLI's -server
+// mode, and the cluster coordinator compose over: anything that can
+// execute one wire sampling request and stream its NDJSON lines.
+//
+// Sample invokes emit once per line, in order, as lines are produced;
+// emit returning an error aborts the stream. The contract matches
+// Service.Sample: a nil return means the full ensemble was delivered;
+// a failure before the first line surfaces only as the returned error
+// (so an HTTP front end can still send a real status code), while a
+// failure after the first line is additionally emitted as an in-band
+// error line. Implementations preserve the typed sentinels
+// (ErrBadRequest, ErrOverloaded, ErrShuttingDown, context errors,
+// ErrBackend) under errors.Is so error handling composes across
+// local, remote, and coordinated tiers.
+type Backend interface {
+	Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error
+	Health(ctx context.Context) (wire.Health, error)
+	Metrics(ctx context.Context) (wire.Metrics, error)
+}
+
+// LocalBackend adapts a Service to the Backend interface: the
+// composition the plain daemon serves, and the in-process baseline the
+// differential tests compare the remote and coordinated tiers against.
+type LocalBackend struct {
+	svc *Service
+}
+
+// NewLocalBackend wraps svc. The Service keeps its own lifecycle
+// (Shutdown is not part of the Backend surface).
+func NewLocalBackend(svc *Service) *LocalBackend { return &LocalBackend{svc: svc} }
+
+// Sample validates the wire request and runs it on the wrapped
+// service.
+func (b *LocalBackend) Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
+	r, err := FromWire(req)
+	if err != nil {
+		return err
+	}
+	return b.svc.Sample(ctx, r, emit)
+}
+
+// Health reports the wrapped service's liveness.
+func (b *LocalBackend) Health(context.Context) (wire.Health, error) { return b.svc.Health(), nil }
+
+// Metrics snapshots the wrapped service's counters.
+func (b *LocalBackend) Metrics(context.Context) (wire.Metrics, error) { return b.svc.Metrics(), nil }
+
+// BackendError marks a backend transport failure — unreachable peer,
+// connection reset mid-stream, malformed response — as opposed to an
+// application error the backend itself reported. It matches ErrBackend
+// under errors.Is; the HTTP layer maps it to 502.
+type BackendError struct {
+	// Backend names the failing peer (base URL or shard ID); Op is the
+	// phase that failed ("request", "stream", "health", "metrics").
+	Backend string
+	Op      string
+	Err     error
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("service: backend %s: %s: %v", e.Backend, e.Op, e.Err)
+}
+
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// Is reports ErrBackend identity so errors.Is(err, ErrBackend) holds
+// while Unwrap still exposes the transport cause.
+func (e *BackendError) Is(target error) bool { return target == ErrBackend }
+
+// StreamError reports a stream that terminated with an in-band error
+// line which has already been delivered to emit — the caller must not
+// emit a second terminator, only propagate the failure.
+type StreamError struct {
+	Line wire.Line
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("service: stream terminated in-band: %s (%s)", e.Line.Error, e.Line.Code)
+}

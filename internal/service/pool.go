@@ -2,8 +2,9 @@ package service
 
 import (
 	"container/list"
+	"fmt"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"gesmc"
 	"gesmc/wire"
@@ -31,6 +32,13 @@ import (
 // a pool hit resumes the same chain where the previous same-key request
 // left it — the samples remain valid draws from the same stationary
 // distribution, advanced further.
+//
+// All counters — hits, misses, evictions, the per-key hit counts
+// behind hot-target promotion — are mutated and snapshotted under the
+// one pool mutex, so a /v1/metrics read taken during concurrent
+// checkouts is a consistent cut: hits + misses always equals the
+// number of completed checkouts, and the hit rate can never be
+// computed from a torn pair.
 type enginePool struct {
 	mu     sync.Mutex
 	cap    int
@@ -38,10 +46,20 @@ type enginePool struct {
 	lru    list.List // of *poolEntry, front = most recently used
 	byKey  map[engineKey][]*list.Element
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits      int64
+	misses    int64
+	evictions int64
+	// hitsByKey counts reuse per pool-key digest: the hot-target
+	// promotion signal a cluster coordinator reads via
+	// PoolMetrics.HotKeys.
+	hitsByKey map[uint64]int64
 }
+
+// maxTrackedKeys bounds hitsByKey. Hot-key tracking is a heavy-hitter
+// signal, not an exact ledger: when the map saturates (a pathological
+// churn of distinct targets), it is reset and re-warms on the keys
+// that are actually hot.
+const maxTrackedKeys = 4096
 
 type poolEntry struct {
 	key engineKey
@@ -52,24 +70,31 @@ func newEnginePool(capacity int) *enginePool {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &enginePool{cap: capacity, byKey: make(map[engineKey][]*list.Element)}
+	return &enginePool{
+		cap:       capacity,
+		byKey:     make(map[engineKey][]*list.Element),
+		hitsByKey: make(map[uint64]int64),
+	}
 }
 
 // checkout removes and returns an idle sampler for key, or (nil, false)
 // on a miss. The caller owns the sampler until checkin.
 func (p *enginePool) checkout(key engineKey) (*gesmc.Sampler, bool) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	elems := p.byKey[key]
 	if len(elems) == 0 {
-		p.mu.Unlock()
-		p.misses.Add(1)
+		p.misses++
 		return nil, false
 	}
 	elem := elems[len(elems)-1]
 	p.removeLocked(elem)
 	entry := elem.Value.(*poolEntry)
-	p.mu.Unlock()
-	p.hits.Add(1)
+	p.hits++
+	if len(p.hitsByKey) >= maxTrackedKeys {
+		p.hitsByKey = make(map[uint64]int64)
+	}
+	p.hitsByKey[key.digest()]++
 	return entry.s, true
 }
 
@@ -95,11 +120,11 @@ func (p *enginePool) checkin(key engineKey, s *gesmc.Sampler) {
 		p.removeLocked(back)
 		evicted = append(evicted, back.Value.(*poolEntry).s)
 	}
+	p.evictions += int64(len(evicted))
 	p.mu.Unlock()
 	// Close outside the lock: parking a gang synchronizes with its
 	// worker goroutines.
 	for _, ev := range evicted {
-		p.evictions.Add(1)
 		ev.Close()
 	}
 }
@@ -141,21 +166,35 @@ func (p *enginePool) close() {
 	}
 }
 
-// metrics snapshots the pool counters.
+// hotKeyLimit caps the hot-keys list exported in metrics.
+const hotKeyLimit = 8
+
+// metrics takes one consistent snapshot of every pool counter under
+// the pool mutex.
 func (p *enginePool) metrics() wire.PoolMetrics {
 	p.mu.Lock()
-	engines := p.lru.Len()
-	p.mu.Unlock()
-	hits, misses := p.hits.Load(), p.misses.Load()
 	m := wire.PoolMetrics{
-		Engines:   engines,
+		Engines:   p.lru.Len(),
 		Capacity:  p.cap,
-		Hits:      hits,
-		Misses:    misses,
-		Evictions: p.evictions.Load(),
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
 	}
-	if total := hits + misses; total > 0 {
-		m.HitRate = float64(hits) / float64(total)
+	for key, hits := range p.hitsByKey {
+		m.HotKeys = append(m.HotKeys, wire.KeyHits{Key: fmt.Sprintf("%016x", key), Hits: hits})
+	}
+	p.mu.Unlock()
+	if total := m.Hits + m.Misses; total > 0 {
+		m.HitRate = float64(m.Hits) / float64(total)
+	}
+	sort.Slice(m.HotKeys, func(i, j int) bool {
+		if m.HotKeys[i].Hits != m.HotKeys[j].Hits {
+			return m.HotKeys[i].Hits > m.HotKeys[j].Hits
+		}
+		return m.HotKeys[i].Key < m.HotKeys[j].Key
+	})
+	if len(m.HotKeys) > hotKeyLimit {
+		m.HotKeys = m.HotKeys[:hotKeyLimit]
 	}
 	return m
 }

@@ -2,6 +2,8 @@ package service
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"gesmc"
@@ -121,6 +123,90 @@ func TestPoolCloseClosesAll(t *testing.T) {
 	}
 	if m := p.metrics(); m.Engines != 0 {
 		t.Fatalf("engines=%d after close", m.Engines)
+	}
+}
+
+// TestPoolHotKeyCounts: per-key hit counts back hot-target promotion —
+// the most-reused key leads PoolMetrics.HotKeys with its exact count.
+func TestPoolHotKeyCounts(t *testing.T) {
+	p := newEnginePool(4)
+	hotS, hotK := testSampler(t, 1)
+	coldS, coldK := testSampler(t, 2)
+	p.checkin(hotK, hotS)
+	p.checkin(coldK, coldS)
+	for i := 0; i < 3; i++ {
+		s, hit := p.checkout(hotK)
+		if !hit {
+			t.Fatalf("round %d: hot key missed", i)
+		}
+		p.checkin(hotK, s)
+	}
+	s, hit := p.checkout(coldK)
+	if !hit {
+		t.Fatal("cold key missed")
+	}
+	p.checkin(coldK, s)
+
+	m := p.metrics()
+	if m.Hits != 4 || m.Misses != 0 {
+		t.Fatalf("hits=%d misses=%d", m.Hits, m.Misses)
+	}
+	if len(m.HotKeys) != 2 {
+		t.Fatalf("hot keys: %+v", m.HotKeys)
+	}
+	wantHot := fmt.Sprintf("%016x", hotK.digest())
+	if m.HotKeys[0].Key != wantHot || m.HotKeys[0].Hits != 3 {
+		t.Fatalf("hottest key %+v, want %s x3", m.HotKeys[0], wantHot)
+	}
+	if m.HotKeys[1].Hits != 1 {
+		t.Fatalf("cold key count %+v", m.HotKeys[1])
+	}
+	p.close()
+}
+
+// TestPoolMetricsConsistentUnderConcurrency: the snapshot is taken
+// under the pool lock, so hits + misses always equals the number of
+// completed checkouts — no torn reads while checkouts race.
+func TestPoolMetricsConsistentUnderConcurrency(t *testing.T) {
+	p := newEnginePool(2)
+	s, key := testSampler(t, 1)
+	p.checkin(key, s)
+
+	const workers, rounds = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if s, hit := p.checkout(key); hit {
+					p.checkin(key, s)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		m := p.metrics()
+		if total := m.Hits + m.Misses; total > 0 {
+			if want := float64(m.Hits) / float64(total); m.HitRate != want {
+				t.Fatalf("torn snapshot: hits=%d misses=%d rate=%v, want %v",
+					m.Hits, m.Misses, m.HitRate, want)
+			}
+		}
+		select {
+		case <-done:
+			// Quiesced: every loop iteration performed exactly one
+			// checkout, so the counters must add up exactly.
+			m := p.metrics()
+			if m.Hits+m.Misses != int64(workers*rounds) {
+				t.Fatalf("hits=%d + misses=%d != %d checkouts", m.Hits, m.Misses, workers*rounds)
+			}
+			p.close()
+			return
+		default:
+		}
 	}
 }
 

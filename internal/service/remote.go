@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gesmc/wire"
+)
+
+// RemoteBackend speaks the daemon's existing HTTP/NDJSON protocol as a
+// Backend: POST /v1/sample streamed line by line, GET /v1/healthz and
+// /v1/metrics for the rest of the surface. It is the client half of
+// the cluster coordinator (one RemoteBackend per shard) and of the
+// CLI's -server mode.
+//
+// Error round-tripping: a pre-stream HTTP failure status is decoded
+// back into the matching typed sentinel (400 → ErrBadRequest, 429 →
+// ErrOverloaded, 503 → ErrShuttingDown, 408 → context.DeadlineExceeded),
+// so a proxy tier re-maps it to the same status it came from.
+// Transport failures — unreachable peer, reset mid-stream, malformed
+// lines — wrap ErrBackend. An in-band error line is forwarded to emit
+// and reported as *StreamError, telling proxies the terminator has
+// already been delivered.
+type RemoteBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewRemoteBackend targets a daemon at baseURL (scheme defaults to
+// http://, a trailing slash is trimmed). client nil selects
+// http.DefaultClient; streaming requests live as long as their
+// context, so the client should not carry a global timeout.
+func NewRemoteBackend(baseURL string, client *http.Client) *RemoteBackend {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &RemoteBackend{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// URL returns the backend's base URL.
+func (b *RemoteBackend) URL() string { return b.base }
+
+// remoteError is a backend-reported application error resurrected as
+// its typed sentinel, preserving the backend's message.
+type remoteError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// mapStatus converts a pre-stream HTTP failure into the typed error
+// the backend's own service layer returned.
+func (b *RemoteBackend) mapStatus(code int, we wire.Error) error {
+	msg := we.Error
+	if msg == "" {
+		msg = fmt.Sprintf("HTTP %d", code)
+	}
+	msg = fmt.Sprintf("backend %s: %s", b.base, msg)
+	switch code {
+	case http.StatusBadRequest:
+		return &remoteError{msg: msg, sentinel: ErrBadRequest}
+	case http.StatusTooManyRequests:
+		return &remoteError{msg: msg, sentinel: ErrOverloaded}
+	case http.StatusServiceUnavailable:
+		return &remoteError{msg: msg, sentinel: ErrShuttingDown}
+	case http.StatusRequestTimeout:
+		return &remoteError{msg: msg, sentinel: context.DeadlineExceeded}
+	default:
+		return &BackendError{Backend: b.base, Op: "request", Err: errors.New(msg)}
+	}
+}
+
+// emitError tags a consumer (emit) failure so Sample can tell it apart
+// from a backend stream failure: the former is the caller's problem,
+// the latter is the backend's.
+type emitError struct{ err error }
+
+func (e *emitError) Error() string { return e.err.Error() }
+
+// Sample posts req and forwards every NDJSON line to emit verbatim,
+// including a terminal in-band error line (reported as *StreamError).
+func (b *RemoteBackend) Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return &RequestError{Field: "body", Reason: err.Error()}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sample", bytes.NewReader(body))
+	if err != nil {
+		return &BackendError{Backend: b.base, Op: "request", Err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &BackendError{Backend: b.base, Op: "request", Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wire.Error
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&we)
+		return b.mapStatus(resp.StatusCode, we)
+	}
+
+	var inband *wire.Line
+	err = wire.DecodeLines(resp.Body, func(ln wire.Line) error {
+		if err := emit(ln); err != nil {
+			return &emitError{err: err}
+		}
+		if ln.Error != "" {
+			inband = &ln
+		}
+		return nil
+	})
+	switch {
+	case err != nil:
+		var ee *emitError
+		if errors.As(err, &ee) {
+			return ee.err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The response body broke before a clean EOF: the backend died
+		// (or was killed) mid-stream.
+		return &BackendError{Backend: b.base, Op: "stream", Err: err}
+	case inband != nil:
+		return &StreamError{Line: *inband}
+	default:
+		return nil
+	}
+}
+
+// Health fetches /v1/healthz. A 503 with a parseable body (a draining
+// daemon) is not a transport error: the document is returned with a
+// nil error and the caller inspects Status.
+func (b *RemoteBackend) Health(ctx context.Context) (wire.Health, error) {
+	var h wire.Health
+	err := b.getJSON(ctx, "/v1/healthz", "health", &h)
+	return h, err
+}
+
+// Metrics fetches /v1/metrics.
+func (b *RemoteBackend) Metrics(ctx context.Context) (wire.Metrics, error) {
+	var m wire.Metrics
+	err := b.getJSON(ctx, "/v1/metrics", "metrics", &m)
+	return m, err
+}
+
+func (b *RemoteBackend) getJSON(ctx context.Context, path, op string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return &BackendError{Backend: b.base, Op: op, Err: err}
+	}
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &BackendError{Backend: b.base, Op: op, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return &BackendError{Backend: b.base, Op: op, Err: fmt.Errorf("HTTP %d", resp.StatusCode)}
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out); err != nil {
+		return &BackendError{Backend: b.base, Op: op, Err: err}
+	}
+	return nil
+}

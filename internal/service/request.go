@@ -31,6 +31,10 @@ var (
 	// ErrShuttingDown is returned for requests arriving after Shutdown
 	// began.
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrBackend is the sentinel matched by backend transport failures
+	// (RemoteBackend, the cluster coordinator); the HTTP layer maps it
+	// to 502.
+	ErrBackend = errors.New("service: backend unavailable")
 )
 
 // RequestError is a validation failure for one request field. It wraps
@@ -373,4 +377,40 @@ func (r *Request) engineKey() engineKey {
 		thinning:   r.Thinning,
 		swapsBits:  math.Float64bits(r.SwapsPerEdge),
 	}
+}
+
+// digest folds the full engine identity into one 64-bit value: the
+// consistent-hash ring key of the cluster coordinator and the hot-key
+// label of pool metrics. Two requests share a digest exactly when they
+// would share a pooled engine (modulo FNV collisions).
+func (k engineKey) digest() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	put(k.targetHash)
+	put(uint64(k.algorithm))
+	put(uint64(k.workers))
+	put(k.seed)
+	put(uint64(k.burnIn))
+	put(uint64(k.thinning))
+	put(k.swapsBits)
+	return h.Sum64()
+}
+
+// PoolKey computes the engine-pool identity digest of a wire request:
+// the value a cluster coordinator consistent-hashes onto its shard
+// ring so same-key requests land on the shard holding their burned-in
+// engine. Validation failures wrap ErrBadRequest, exactly as FromWire
+// reports them.
+func PoolKey(wr *wire.SampleRequest) (uint64, error) {
+	r, err := FromWire(wr)
+	if err != nil {
+		return 0, err
+	}
+	return r.engineKey().digest(), nil
 }

@@ -20,12 +20,24 @@ const maxRequestBody = 64 << 20
 //	GET  /v1/healthz  — liveness (503 while draining)
 //	GET  /v1/metrics  — counters (JSON)
 func NewHandler(svc *Service) http.Handler {
+	return NewBackendHandler(NewLocalBackend(svc))
+}
+
+// NewBackendHandler serves the same HTTP API over any Backend: a
+// LocalBackend for the plain daemon, a cluster coordinator for the
+// front tier. The transport is identical either way — that is what
+// lets coordinators stack in front of daemons transparently.
+func NewBackendHandler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
-		handleSample(svc, w, r)
+		handleSample(b, w, r)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := svc.Health()
+		h, err := b.Health(r.Context())
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, wire.Error{Error: err.Error(), Code: errCode(err)})
+			return
+		}
 		code := http.StatusOK
 		if h.Status != "ok" {
 			code = http.StatusServiceUnavailable
@@ -33,7 +45,12 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Metrics())
+		m, err := b.Metrics(r.Context())
+		if err != nil {
+			writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
 	})
 	return mux
 }
@@ -48,6 +65,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBackend):
+		// Every shard unreachable, or the one owning the key died
+		// before its first line: the fault is behind this proxy tier.
+		return http.StatusBadGateway
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client's own cancellation or timeout_ms deadline, not a
 		// server fault: a 5xx here would trip retry policies against
@@ -58,16 +79,11 @@ func statusFor(err error) int {
 	}
 }
 
-func handleSample(svc *Service, w http.ResponseWriter, r *http.Request) {
+func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
 	var wreq wire.SampleRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&wreq); err != nil {
 		writeJSON(w, http.StatusBadRequest, wire.Error{Error: "malformed JSON: " + err.Error(), Code: "bad_request"})
-		return
-	}
-	req, err := FromWire(&wreq)
-	if err != nil {
-		writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
 		return
 	}
 
@@ -75,11 +91,11 @@ func handleSample(svc *Service, w http.ResponseWriter, r *http.Request) {
 	// pre-stream failures (overload, infeasible degree sequence) still
 	// get a proper status code. After the first line the status is
 	// committed and terminal errors travel in-band as error lines
-	// (Service.Sample emits them).
+	// (the Backend emits them).
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	streaming := false
-	err = svc.Sample(r.Context(), req, func(ln wire.Line) error {
+	err := b.Sample(r.Context(), &wreq, func(ln wire.Line) error {
 		if !streaming {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)

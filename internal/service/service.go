@@ -13,6 +13,11 @@ import (
 
 // Config sizes the service. Zero values select the defaults.
 type Config struct {
+	// ID is the backend identity stamped on every streamed line's
+	// Stats.Backend and on Metrics.Backend, so clients (and the
+	// cluster coordinator) can observe which shard served them. Empty
+	// leaves the fields unset.
+	ID string
 	// WorkerBudget is the global parallelism bound: the sum of the
 	// Workers of all running jobs never exceeds it. Default:
 	// GOMAXPROCS.
@@ -111,6 +116,8 @@ func errCode(err error) string {
 		return "overloaded"
 	case errors.Is(err, ErrShuttingDown):
 		return "shutting_down"
+	case errors.Is(err, ErrBackend):
+		return "backend"
 	default:
 		return "internal"
 	}
@@ -202,7 +209,11 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 			continue
 		}
 		s.met.observeSample(smp.Stats.Supersteps, smp.Stats.Attempted)
-		if err := emit(wire.FromSample(smp)); err != nil {
+		ln := wire.FromSample(smp)
+		if s.cfg.ID != "" && ln.Stats != nil {
+			ln.Stats.Backend = s.cfg.ID
+		}
+		if err := emit(ln); err != nil {
 			terminal = err
 			cancel()
 			continue
@@ -217,7 +228,9 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() wire.Metrics {
-	return s.met.snapshot(s.sched, s.pool)
+	m := s.met.snapshot(s.sched, s.pool)
+	m.Backend = s.cfg.ID
+	return m
 }
 
 // Health reports liveness ("ok", or "draining" once Shutdown started).

@@ -91,6 +91,11 @@ type Stats struct {
 	EscapeAttempts   int64 `json:"escape_attempts,omitempty"`
 	EscapeMoves      int64 `json:"escape_moves,omitempty"`
 	DurationNS       int64 `json:"duration_ns"`
+	// Backend identifies the daemon (shard) whose engine produced this
+	// sample: set by a server configured with an identity, and filled
+	// in by the cluster coordinator for lines it proxies, so clients
+	// can observe placement per sample.
+	Backend string `json:"backend,omitempty"`
 }
 
 // FromStats converts sampler statistics to their wire form.
@@ -191,10 +196,65 @@ type PoolMetrics struct {
 	Evictions int64 `json:"evictions"`
 	// HitRate is Hits / (Hits + Misses), 0 when no checkouts happened.
 	HitRate float64 `json:"hit_rate"`
+	// HotKeys are the most-reused engine-pool keys (by hit count,
+	// descending): the promotion signal a cluster coordinator uses to
+	// replicate hot targets across shards.
+	HotKeys []KeyHits `json:"hot_keys,omitempty"`
+}
+
+// KeyHits is one engine-pool key's reuse count. Key is the %016x form
+// of the 64-bit pool-key digest (target digest + algorithm + workers +
+// seed + schedule) — the same value the cluster coordinator hashes
+// onto its shard ring.
+type KeyHits struct {
+	Key  string `json:"key"`
+	Hits int64  `json:"hits"`
+}
+
+// ShardMetrics is one backend's entry in a coordinator's cluster view.
+type ShardMetrics struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	// Inflight is the number of requests this coordinator is currently
+	// streaming through the shard; Requests counts attempts routed to
+	// it (including failed ones), Errors the attempts that failed.
+	Inflight int64 `json:"inflight"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// ClusterMetrics is the coordinator's placement view, nested under
+// Metrics.Cluster when the serving backend is a coordinator.
+type ClusterMetrics struct {
+	Shards []ShardMetrics `json:"shards"`
+	// RoutedOwner counts requests served by the ring owner of their
+	// pool key; RoutedReplica those served by another replica of a hot
+	// key; RoutedSpill those that fell through to a non-owner because
+	// the owner was dead, overloaded (429), or draining (503).
+	RoutedOwner   int64 `json:"routed_owner"`
+	RoutedReplica int64 `json:"routed_replica"`
+	RoutedSpill   int64 `json:"routed_spill"`
+	// MidstreamFailures counts streams that died after the first line
+	// and were terminated with an in-band error line (no failover is
+	// possible once lines have been delivered).
+	MidstreamFailures int64 `json:"midstream_failures"`
+	// Evictions counts alive→dead shard transitions (health-check
+	// failures and transport errors); Revivals the dead→alive ones.
+	Evictions int64 `json:"evictions"`
+	Revivals  int64 `json:"revivals"`
+	// HotKeys are the most-routed pool keys with their request counts;
+	// keys at or beyond the promotion threshold are served by up to R
+	// replicas.
+	HotKeys []KeyHits `json:"hot_keys,omitempty"`
 }
 
 // Metrics is the body of GET /v1/metrics.
 type Metrics struct {
+	// Backend is the identity of the serving process (daemon shard or
+	// coordinator), when it has one.
+	Backend string `json:"backend,omitempty"`
+
 	// RequestsTotal counts accepted sampling requests; Rejected counts
 	// admission-control overload rejections, Failed counts requests
 	// terminated by validation or runtime errors (cancellation
@@ -219,6 +279,10 @@ type Metrics struct {
 	SwitchesTotal    int64   `json:"switches_total"`
 	SuperstepsPerSec float64 `json:"supersteps_per_sec"`
 	UptimeMS         int64   `json:"uptime_ms"`
+
+	// Cluster is the coordinator's placement view; absent on plain
+	// daemons.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // EncodeLine writes one NDJSON line (json.Encoder terminates each
