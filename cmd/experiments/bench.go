@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gesmc"
+	"gesmc/internal/conc"
 	"gesmc/internal/rng"
 )
 
@@ -37,9 +38,26 @@ type benchResult struct {
 	CPUBound bool `json:"cpu_bound,omitempty"`
 }
 
+// benchHardware records the machine the artifact was produced on, so
+// cross-commit comparisons know when a shift is hardware rather than
+// code. Cache sizes come from the same sysfs detection the kernels'
+// chunk sizing uses (conc.Topology).
+type benchHardware struct {
+	NumCPU     int    `json:"num_cpu"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	L2Bytes    int    `json:"l2_bytes"`
+	LLCBytes   int    `json:"llc_bytes"`
+	LLCSharers int    `json:"llc_sharers"`
+	// CacheDetected is false when the cache values are the conservative
+	// fallbacks rather than OS-reported.
+	CacheDetected bool `json:"cache_detected"`
+}
+
 type benchReport struct {
 	Date       string        `json:"date"`
 	GoMaxProcs int           `json:"go_max_procs"`
+	Hardware   benchHardware `json:"hardware"`
 	Nodes      int           `json:"nodes"`
 	EdgesUndir int           `json:"edges_undirected"`
 	ArcsDir    int           `json:"arcs_directed"`
@@ -157,9 +175,19 @@ func bench(opt options) error {
 		return err
 	}
 
+	topo := conc.Topology()
 	report := benchReport{
 		Date:       time.Now().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Hardware: benchHardware{
+			NumCPU:        runtime.NumCPU(),
+			GoOS:          runtime.GOOS,
+			GoArch:        runtime.GOARCH,
+			L2Bytes:       topo.L2Bytes,
+			LLCBytes:      topo.LLCBytes,
+			LLCSharers:    topo.LLCSharers,
+			CacheDetected: topo.Detected,
+		},
 		Nodes:      n,
 		EdgesUndir: ug.M(),
 		ArcsDir:    dg.M(),
@@ -178,9 +206,15 @@ func bench(opt options) error {
 		{"GlobalCurveball", gesmc.GlobalCurveball, func() gesmc.Target { return ug.Clone() }},
 	}
 
-	workerCounts := []int{1, opt.workers}
-	if opt.workers <= 1 {
-		workerCounts = []int{1}
+	// Powers of two up to the requested maximum (always including the
+	// maximum itself), so the artifact carries a real speedup curve
+	// rather than a single endpoint ratio.
+	workerCounts := []int{1}
+	for w := 2; w < opt.workers; w <<= 1 {
+		workerCounts = append(workerCounts, w)
+	}
+	if opt.workers > 1 {
+		workerCounts = append(workerCounts, opt.workers)
 	}
 	fmt.Printf("%-22s %-8s %12s %14s %16s %10s\n",
 		"chain", "workers", "attempted", "ns/switch", "allocs/superstep", "speedup")

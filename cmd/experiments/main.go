@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -41,17 +42,51 @@ func main() {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "maximum parallelism P")
 	quick := fs.Bool("quick", false, "tiny parameters for smoke tests")
 	out := fs.String("out", "", "output path for bench JSON (default BENCH_<date>.json)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memProfile := fs.String("memprofile", "", "write a post-run heap profile to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	benchOut = *out
 	opt := options{scale: *scale, seed: *seed, workers: *workers, quick: *quick}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	runOne := func(name string, fn func(options) error) {
 		fmt.Printf("==== %s ====\n", name)
 		start := time.Now()
 		if err := fn(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			pprof.StopCPUProfile()
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -107,5 +142,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|verifyconn|all> [-scale f] [-seed n] [-workers n] [-quick]`)
+	fmt.Fprintln(os.Stderr, `usage: experiments <fig2|fig3|table4|fig5|fig6|fig7|fig8|fig9|curveball|ensemble|bench|verifyconn|all> [-scale f] [-seed n] [-workers n] [-quick] [-cpuprofile f] [-memprofile f]`)
 }

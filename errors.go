@@ -28,6 +28,9 @@ var (
 	ErrInvalidBurnIn = errors.New("gesmc: burn-in must be at least 1 superstep")
 	// ErrInvalidThinning is returned for a thinning below one superstep.
 	ErrInvalidThinning = errors.New("gesmc: thinning must be at least 1 superstep")
+	// ErrInvalidChunkBytes is returned for a negative WithChunkBytes
+	// value.
+	ErrInvalidChunkBytes = errors.New("gesmc: chunk bytes must be non-negative")
 	// ErrInvalidSupersteps is returned when a negative superstep count is
 	// requested from Step.
 	ErrInvalidSupersteps = errors.New("gesmc: superstep count must be non-negative")

@@ -7,8 +7,8 @@ import (
 
 // Pool is a persistent gang of worker goroutines parked on a
 // channel-based barrier, the replacement for spawn-per-call Run/Blocks
-// on hot paths: a kernel superstep issues ~6 parallel-for phases, and a
-// chain issues thousands of supersteps, so goroutine creation and
+// on hot paths: a kernel superstep issues several parallel-for phases,
+// and a chain issues thousands of supersteps, so goroutine creation and
 // WaitGroup churn per phase dominates the barrier cost the paper's
 // analysis assumes to be cheap. The pool's workers 1..P-1 live as long
 // as the pool; the caller participates as worker 0, so a dispatch costs
@@ -17,14 +17,22 @@ import (
 //
 // Dispatch state (the task and its iteration space) is published via
 // plain fields before the wake-up sends; the channel operations order
-// them. Bodies passed to Run/Blocks/Chunked should be long-lived
+// them. Bodies passed to Run/Blocks/Chunked/Fused should be long-lived
 // function values (fields on the owning engine) — then a steady-state
 // dispatch performs zero heap allocations, which the kernel's
 // allocation-regression test asserts.
 //
+// Grain sizing is topology-aware: at construction the pool derives a
+// default chunk grain from the per-core L2 share (capped by the LLC
+// share per worker), so cursor-claimed chunks keep their working set
+// cache-resident instead of using naive n/P-derived sizes. Override
+// with WithChunkBytes or SetChunkBytes. Static block boundaries are
+// aligned to 16-item multiples so adjacent workers writing item-indexed
+// arrays do not false-share the boundary cache lines.
+//
 // Concurrency contract: a Pool serializes its dispatches. Calling Run,
-// Blocks, or Chunked from inside a body (nested use), or from two
-// goroutines at once, panics. Close releases the workers; it is
+// Blocks, Chunked, or Fused from inside a body (nested use), or from
+// two goroutines at once, panics. Close releases the workers; it is
 // idempotent, and a finalizer releases them when a pool owner leaks
 // without closing, so parked goroutines never outlive the pool's
 // reachability.
@@ -32,12 +40,18 @@ type Pool struct {
 	sh *poolShared
 }
 
+const cacheLine = 64
+
 // poolShared is the worker-visible state. It is split from Pool so the
 // parked goroutines keep only poolShared alive: the outer Pool stays
 // collectable, letting its finalizer release the gang when the owner
-// forgets to Close.
+// forgets to Close. The contended atomics (chunk cursor, completion
+// count, sub-barrier state) are padded onto private cache lines so the
+// cursor traffic of a chunked round does not invalidate the read-mostly
+// dispatch fields every worker re-reads.
 type poolShared struct {
 	workers int
+	grain   int // default chunk size in items, topology-derived
 
 	// Dispatch state, written by the coordinator before the wake-up
 	// sends and read-only during a dispatch.
@@ -46,14 +60,24 @@ type poolShared struct {
 	rangeFn func(worker, lo, hi int)
 	n       int
 	chunk   int
+	plan    *FusedPlan
 
-	cursor  atomic.Int64 // chunked mode: next unclaimed index
-	start   []chan struct{}
-	done    chan struct{}
-	pending atomic.Int32
+	start []chan struct{}
+	done  chan struct{}
+
 	panicV  atomic.Pointer[poolPanic]
 	running atomic.Bool
 	closed  atomic.Bool
+
+	_       [cacheLine]byte
+	cursor  atomic.Int64 // chunked mode: next unclaimed index
+	_       [cacheLine - 8]byte
+	pending atomic.Int32
+	_       [cacheLine - 4]byte
+	barIn   atomic.Int32 // fused sub-barrier: arrivals
+	_       [cacheLine - 4]byte
+	barGen  atomic.Uint32 // fused sub-barrier: release generation
+	_       [cacheLine - 4]byte
 }
 
 type poolPanic struct{ v any }
@@ -62,18 +86,66 @@ const (
 	modeBody = iota
 	modeBlocks
 	modeChunked
+	modeFused
 )
+
+// PoolOption configures a Pool at construction.
+type PoolOption func(*poolShared)
+
+// WithChunkBytes overrides the topology-derived target working-set size
+// of one cursor-claimed chunk. bytes <= 0 keeps the derived default.
+func WithChunkBytes(bytes int) PoolOption {
+	return func(sh *poolShared) {
+		if bytes > 0 {
+			sh.grain = grainFromBytes(bytes)
+		}
+	}
+}
+
+// chunkItemBytes is the assumed per-item cache footprint used to convert
+// a byte budget into a chunk length: the kernel's decide items touch a
+// handful of scattered lines (dependency-table entries plus hash-set
+// buckets), of which roughly one line per item is unique to the chunk.
+const chunkItemBytes = 64
+
+func grainFromBytes(bytes int) int {
+	g := bytes / chunkItemBytes
+	if g < serialCutoff {
+		g = serialCutoff
+	}
+	return g
+}
+
+// defaultGrain derives the chunk grain from the cache topology: a chunk
+// should fill a fraction of the per-core private L2 (staying resident
+// across the claim), without the gang's combined claims exceeding their
+// LLC share.
+func defaultGrain(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	t := Topology()
+	budget := t.L2Bytes / 4
+	if llcShare := t.LLCBytes / (2 * workers); budget > llcShare && llcShare > 0 {
+		budget = llcShare
+	}
+	return grainFromBytes(budget)
+}
 
 // NewPool starts a gang of workers goroutines (worker ids 0..workers-1,
 // id 0 being the caller of each dispatch). workers < 1 is treated as 1;
 // a 1-worker pool spawns no goroutines and dispatches inline.
-func NewPool(workers int) *Pool {
+func NewPool(workers int, opts ...PoolOption) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
 	sh := &poolShared{
 		workers: workers,
+		grain:   defaultGrain(workers),
 		done:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(sh)
 	}
 	sh.start = make([]chan struct{}, workers-1)
 	for i := range sh.start {
@@ -89,6 +161,23 @@ func NewPool(workers int) *Pool {
 
 // Workers returns the gang size P.
 func (p *Pool) Workers() int { return p.sh.workers }
+
+// Grain returns the current default chunk size in items.
+func (p *Pool) Grain() int { return p.sh.grain }
+
+// SetChunkBytes re-derives the default chunk grain from a target
+// working-set byte budget; bytes <= 0 restores the topology-derived
+// default. Must not be called during a dispatch.
+func (p *Pool) SetChunkBytes(bytes int) {
+	if p.sh.running.Load() {
+		panic("conc: Pool.SetChunkBytes during dispatch")
+	}
+	if bytes > 0 {
+		p.sh.grain = grainFromBytes(bytes)
+	} else {
+		p.sh.grain = defaultGrain(p.sh.workers)
+	}
+}
 
 // Close releases the worker goroutines. Idempotent; dispatching after
 // Close panics. Closing is optional (a finalizer releases leaked
@@ -122,8 +211,14 @@ func (sh *poolShared) parked(w int) {
 }
 
 // invoke runs the current dispatch as worker w, converting panics into
-// a recorded first-panic that the coordinator re-raises.
+// a recorded first-panic that the coordinator re-raises. Fused
+// dispatches recover per pass instead (a worker must keep arriving at
+// the sub-barriers after a panic, or the gang would deadlock).
 func (sh *poolShared) invoke(w int) {
+	if sh.mode == modeFused {
+		sh.fusedRun(w)
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			sh.panicV.CompareAndSwap(nil, &poolPanic{v: r})
@@ -132,29 +227,73 @@ func (sh *poolShared) invoke(w int) {
 	sh.dispatch(w)
 }
 
+// alignItems is the item granularity static block boundaries snap to:
+// 16 items cover a full cache line for 4-byte items, so two workers
+// never write the same line at a block boundary.
+const alignItems = 16
+
+// blockRange computes worker w's static block of [0, n): contiguous
+// blocks differing by at most one, with boundaries aligned to
+// alignItems when the blocks are large enough that alignment cannot
+// starve a worker.
+func blockRange(n, w, workers int) (int, int) {
+	lo := n * w / workers
+	hi := n * (w + 1) / workers
+	if n >= workers*alignItems*4 {
+		lo = (lo + alignItems - 1) &^ (alignItems - 1)
+		hi = (hi + alignItems - 1) &^ (alignItems - 1)
+		if lo > n {
+			lo = n
+		}
+		if hi > n || w == workers-1 {
+			hi = n
+		}
+	}
+	return lo, hi
+}
+
 func (sh *poolShared) dispatch(w int) {
 	switch sh.mode {
 	case modeBody:
 		sh.body(w)
 	case modeBlocks:
-		lo := sh.n * w / sh.workers
-		hi := sh.n * (w + 1) / sh.workers
+		lo, hi := blockRange(sh.n, w, sh.workers)
 		if lo < hi {
 			sh.rangeFn(w, lo, hi)
 		}
 	case modeChunked:
-		for {
-			hi := int(sh.cursor.Add(int64(sh.chunk)))
-			lo := hi - sh.chunk
-			if lo >= sh.n {
-				return
-			}
-			if hi > sh.n {
-				hi = sh.n
-			}
-			sh.rangeFn(w, lo, hi)
-		}
+		sh.chunkedLoop(w, sh.n, sh.chunk, sh.rangeFn)
 	}
+}
+
+// chunkedLoop claims chunk-sized ranges of [0, n) from the shared
+// cursor until the space is exhausted.
+func (sh *poolShared) chunkedLoop(w, n, chunk int, fn func(worker, lo, hi int)) {
+	for {
+		hi := int(sh.cursor.Add(int64(chunk)))
+		lo := hi - chunk
+		if lo >= n {
+			return
+		}
+		if hi > n {
+			hi = n
+		}
+		fn(w, lo, hi)
+	}
+}
+
+// autoChunk sizes a cursor-claimed chunk for an n-item space: the
+// topology-derived grain, shrunk so every worker still gets a few
+// claims for load balancing, and never below the serial cutoff.
+func (sh *poolShared) autoChunk(n int) int {
+	g := sh.grain
+	if balance := n / (4 * sh.workers); g > balance {
+		g = balance
+	}
+	if g < serialCutoff {
+		g = serialCutoff
+	}
+	return g
 }
 
 // acquire takes the dispatch lock before any dispatch state is
@@ -183,6 +322,7 @@ func (sh *poolShared) gang() {
 	<-sh.done
 	sh.body = nil
 	sh.rangeFn = nil
+	sh.plan = nil
 	sh.running.Store(false)
 	if pv := sh.panicV.Swap(nil); pv != nil {
 		panic(pv.v)
@@ -191,14 +331,19 @@ func (sh *poolShared) gang() {
 
 // solo runs a dispatch inline on a 1-worker pool (or a small-n
 // fast path). The caller holds the dispatch lock (acquire) and has
-// published the dispatch state.
+// published the dispatch state. Panics recorded by the per-pass
+// recovery of fused mode are re-raised after cleanup.
 func (sh *poolShared) solo() {
 	defer func() {
 		sh.body = nil
 		sh.rangeFn = nil
+		sh.plan = nil
 		sh.running.Store(false)
 	}()
-	sh.dispatch(0)
+	sh.invoke(0)
+	if pv := sh.panicV.Swap(nil); pv != nil {
+		panic(pv.v)
+	}
 }
 
 // Run executes body once per worker id 0..P-1, in parallel, and waits
@@ -225,8 +370,9 @@ func (p *Pool) Run(body func(worker int)) {
 const serialCutoff = 32
 
 // Blocks partitions [0, n) into at most P contiguous blocks differing
-// in size by at most one and runs fn on each block in parallel. Workers
-// whose block is empty are still woken but skip the call.
+// in size by at most one (boundaries aligned to 16 items on large
+// inputs) and runs fn on each block in parallel. Workers whose block is
+// empty are still woken but skip the call.
 func (p *Pool) Blocks(n int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -251,7 +397,8 @@ func (p *Pool) Blocks(n int, fn func(worker, lo, hi int)) {
 // workers grab the next chunk-sized range until the space is exhausted.
 // Use it when per-item cost is skewed (the decide rounds, where delayed
 // switches cluster) and static blocks would imbalance the gang.
-// chunk <= 0 selects a size that gives each worker ~8 claims.
+// chunk <= 0 selects the pool's topology-derived grain (see
+// WithChunkBytes), shrunk if needed so each worker gets several claims.
 func (p *Pool) Chunked(n, chunk int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -260,10 +407,7 @@ func (p *Pool) Chunked(n, chunk int, fn func(worker, lo, hi int)) {
 	sh := p.sh
 	sh.acquire()
 	if chunk <= 0 {
-		chunk = n / (8 * sh.workers)
-		if chunk < serialCutoff {
-			chunk = serialCutoff
-		}
+		chunk = sh.autoChunk(n)
 	}
 	sh.mode = modeChunked
 	sh.rangeFn = fn
@@ -276,4 +420,132 @@ func (p *Pool) Chunked(n, chunk int, fn func(worker, lo, hi int)) {
 		return
 	}
 	sh.gang()
+}
+
+// FusedPass is one pass of a fused dispatch: an iteration space, the
+// body to run over it, and how to partition it. After, when non-nil,
+// runs on exactly one worker at the pass's trailing sub-barrier —
+// after every worker has finished the pass, before any worker starts
+// the next — for short serial fix-ups (counter resets) that would
+// otherwise cost a full dispatch.
+type FusedPass struct {
+	// N is the iteration space [0, N). N <= 0 skips the body (After
+	// still runs).
+	N int
+	// Chunk selects the partitioning: 0 = static aligned blocks,
+	// > 0 = cursor-claimed chunks of this size, < 0 = cursor-claimed
+	// chunks of the pool's topology-derived grain.
+	Chunk int
+	// Fn is the pass body.
+	Fn func(worker, lo, hi int)
+	// After runs serially at the pass's sub-barrier.
+	After func()
+}
+
+// FusedPlan is a reusable sequence of passes executed by one fused
+// dispatch. Owners build it once (the passes slice is read, never
+// mutated) so steady-state fused dispatches allocate nothing.
+type FusedPlan struct {
+	Passes []FusedPass
+}
+
+// Fused executes the plan's passes in order as ONE dispatch: the gang
+// is woken once, passes are separated by internal sense-reversing
+// sub-barriers (spin-then-yield), and the completion barrier fires
+// after the last pass. Relative to dispatching each pass separately
+// this removes a full wake/park cycle per fused boundary — the
+// dominant superstep cost once phase bodies are cheap — while
+// preserving the all-of-pass-i-before-any-of-pass-i+1 ordering that
+// the phases of Algorithm 1 require.
+//
+// A panic in a pass body or After hook is recorded, the pass is
+// abandoned by that worker, sub-barriers continue to operate (so the
+// gang cannot deadlock), and the first panic is re-raised at the
+// completion barrier.
+func (p *Pool) Fused(plan *FusedPlan) {
+	if len(plan.Passes) == 0 {
+		return
+	}
+	defer runtime.KeepAlive(p) // see Run
+	sh := p.sh
+	sh.acquire()
+	sh.mode = modeFused
+	sh.plan = plan
+	sh.cursor.Store(0)
+	if sh.workers == 1 {
+		sh.solo()
+		return
+	}
+	sh.gang()
+}
+
+// fusedRun is the per-worker loop of a fused dispatch.
+func (sh *poolShared) fusedRun(w int) {
+	passes := sh.plan.Passes
+	last := len(passes) - 1
+	for pi := range passes {
+		ps := &passes[pi]
+		if ps.Fn != nil && ps.N > 0 {
+			sh.fusedPass(w, ps)
+		}
+		// The final sub-barrier is subsumed by the completion barrier
+		// unless an After hook needs the all-finished point.
+		if pi < last || ps.After != nil {
+			sh.fusedBarrier(ps.After)
+		}
+	}
+}
+
+// fusedPass runs one pass body, recovering panics so the worker still
+// reaches the trailing sub-barrier.
+func (sh *poolShared) fusedPass(w int, ps *FusedPass) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicV.CompareAndSwap(nil, &poolPanic{v: r})
+		}
+	}()
+	if ps.Chunk == 0 {
+		lo, hi := blockRange(ps.N, w, sh.workers)
+		if lo < hi {
+			ps.Fn(w, lo, hi)
+		}
+		return
+	}
+	chunk := ps.Chunk
+	if chunk < 0 {
+		chunk = sh.autoChunk(ps.N)
+	}
+	sh.chunkedLoop(w, ps.N, chunk, ps.Fn)
+}
+
+// fusedBarrier is the sense-reversing sub-barrier between fused passes.
+// The last arriver (the leader) runs the After hook, resets the shared
+// cursor for the next pass, and releases the generation; the others
+// spin briefly and then yield, so oversubscribed gangs (P > cores)
+// still make progress.
+func (sh *poolShared) fusedBarrier(after func()) {
+	gen := sh.barGen.Load()
+	if sh.barIn.Add(1) == int32(sh.workers) {
+		sh.barIn.Store(0)
+		if after != nil {
+			sh.runAfter(after)
+		}
+		sh.cursor.Store(0)
+		sh.barGen.Add(1)
+	} else {
+		for spins := 0; sh.barGen.Load() == gen; spins++ {
+			if spins > 256 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+func (sh *poolShared) runAfter(after func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.panicV.CompareAndSwap(nil, &poolPanic{v: r})
+		}
+	}()
+	after()
 }

@@ -1,0 +1,155 @@
+package conc
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CacheTopology describes the cache hierarchy the gang's grain sizing is
+// derived from: the per-core private cache (L2 on every mainstream
+// x86/ARM part) and the shared last-level cache, with the number of
+// logical CPUs sharing the latter. Values are detected from sysfs on
+// Linux and fall back to conservative estimates elsewhere, so grain
+// sizing degrades gracefully rather than failing.
+type CacheTopology struct {
+	// L2Bytes is the per-core private cache capacity.
+	L2Bytes int
+	// LLCBytes is the shared last-level cache capacity.
+	LLCBytes int
+	// LLCSharers is the number of logical CPUs sharing the LLC.
+	LLCSharers int
+	// Detected reports whether the values came from the OS rather than
+	// the fallback estimates.
+	Detected bool
+}
+
+// Fallback topology when detection is unavailable: 1 MiB private L2 and
+// a 32 MiB LLC shared by every logical CPU — conservative for modern
+// server parts, harmless for smaller ones (grains merely end up a bit
+// smaller than optimal).
+const (
+	fallbackL2  = 1 << 20
+	fallbackLLC = 32 << 20
+)
+
+var (
+	topoOnce sync.Once
+	topo     CacheTopology
+)
+
+// Topology returns the detected cache topology, computing it once.
+func Topology() CacheTopology {
+	topoOnce.Do(func() { topo = detectTopology() })
+	return topo
+}
+
+func detectTopology() CacheTopology {
+	t := CacheTopology{
+		L2Bytes:    fallbackL2,
+		LLCBytes:   fallbackLLC,
+		LLCSharers: runtime.NumCPU(),
+	}
+	if runtime.GOOS != "linux" {
+		return t
+	}
+	base := "/sys/devices/system/cpu/cpu0/cache"
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return t
+	}
+	maxLevel := 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		dir := base + "/" + e.Name()
+		if readSysString(dir+"/type") == "Instruction" {
+			continue
+		}
+		level, ok := readSysInt(dir + "/level")
+		if !ok {
+			continue
+		}
+		size, ok := parseCacheSize(readSysString(dir + "/size"))
+		if !ok {
+			continue
+		}
+		if level == 2 {
+			t.L2Bytes = size
+			t.Detected = true
+		}
+		if level > maxLevel {
+			maxLevel = level
+			t.LLCBytes = size
+			if sharers := countSharers(dir + "/shared_cpu_list"); sharers > 0 {
+				t.LLCSharers = sharers
+			}
+			t.Detected = true
+		}
+	}
+	return t
+}
+
+func readSysString(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func readSysInt(path string) (int, bool) {
+	v, err := strconv.Atoi(readSysString(path))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseCacheSize parses sysfs cache sizes like "512K", "8M", "32768K".
+func parseCacheSize(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	mult := 1
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'M', 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'G', 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0, false
+	}
+	return v * mult, true
+}
+
+// countSharers counts CPUs in a sysfs cpu list ("0-3,8-11" style).
+func countSharers(path string) int {
+	s := readSysString(path)
+	if s == "" {
+		return 0
+	}
+	n := 0
+	for _, part := range strings.Split(s, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 == nil && err2 == nil && b >= a {
+				n += b - a + 1
+			}
+		} else if part != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -158,6 +158,9 @@ func newParESStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepp
 	runner := NewSuperstepRunner(g.Edges(), window, w)
 	runner.Pessimistic = cfg.PessimisticRounds
 	runner.Prefetch = cfg.Prefetch
+	if cfg.ChunkBytes > 0 {
+		runner.Pool().SetChunkBytes(cfg.ChunkBytes)
+	}
 	if cons != nil {
 		bindRunner(cons, runner)
 	}

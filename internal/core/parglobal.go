@@ -23,14 +23,16 @@ func ExecuteGlobalParallel(r *SuperstepRunner, perm []uint32, l int, buf []Switc
 // SplitMix64 stream the one-shot implementation pre-computed, so a
 // resumed engine replays the identical chain.
 type parGlobalStepper struct {
-	m, w    int
-	src     rng.Source      // binomial ℓ draws
-	seedSrc *rng.SplitMix64 // per-superstep permutation seeds
-	runner  *SuperstepRunner
-	buf     []Switch
-	pl      float64
-	snap    runnerSnap
-	cons    *constrainedRuntime
+	m, w     int
+	src      rng.Source      // binomial ℓ draws
+	seedSrc  *rng.SplitMix64 // per-superstep permutation seeds
+	runner   *SuperstepRunner
+	perm     *rng.PermGen
+	dispatch rng.Dispatch // runner's gang, stored once (alloc-free steps)
+	buf      []Switch
+	pl       float64
+	snap     runnerSnap
+	cons     *constrainedRuntime
 }
 
 func newParGlobalStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) stepper {
@@ -39,22 +41,27 @@ func newParGlobalStepper(g *graph.Graph, cfg Config, cons *constrainedRuntime) s
 	runner := NewSuperstepRunner(g.Edges(), m/2, w)
 	runner.Pessimistic = cfg.PessimisticRounds
 	runner.Prefetch = cfg.Prefetch
+	if cfg.ChunkBytes > 0 {
+		runner.Pool().SetChunkBytes(cfg.ChunkBytes)
+	}
 	if cons != nil {
 		bindRunner(cons, runner)
 	}
 	return &parGlobalStepper{
 		m: m, w: w,
-		src:     rng.NewMT19937(cfg.Seed),
-		seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
-		runner:  runner,
-		buf:     make([]Switch, 0, m/2),
-		pl:      cfg.loopProb(),
-		cons:    cons,
+		src:      rng.NewMT19937(cfg.Seed),
+		seedSrc:  rng.NewSplitMix64(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
+		runner:   runner,
+		perm:     rng.NewPermGen(m),
+		dispatch: runner.Pool().Blocks,
+		buf:      make([]Switch, 0, m/2),
+		pl:       cfg.loopProb(),
+		cons:     cons,
 	}
 }
 
 func (s *parGlobalStepper) step(stats *RunStats) {
-	perm := rng.ParallelPerm(s.seedSrc.Uint64(), s.m, s.w)
+	perm := s.perm.Generate(s.seedSrc.Uint64(), s.dispatch)
 	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
 	s.buf = ExecuteGlobalParallel(s.runner, perm, l, s.buf)
 	stats.Attempted += int64(l)

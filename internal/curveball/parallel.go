@@ -104,6 +104,7 @@ type Engine struct {
 	clearFn     func(worker, lo, hi int)
 	rebuildFn   func(worker, lo, hi int)
 	tradeFn     switching.Decide
+	compactPlan conc.FusedPlan
 
 	// Attempted counts trades performed (trades are never rejected, so
 	// it equals the kernel's Legal counter).
@@ -172,8 +173,19 @@ func NewEngine(g *graph.Graph, workers int, seed uint64) *Engine {
 		e.trade(worker, e.curPairs[k][0], e.curPairs[k][1], k, e.curSeed)
 		return conc.StatusLegal
 	}
+	// Compaction clear+rebuild on one gang wake; the serial counter
+	// reset runs as the sub-barrier hook between the passes.
+	e.compactPlan.Passes = []conc.FusedPass{
+		{Fn: e.clearFn, After: e.set.ResetCounts},
+		{Fn: e.rebuildFn},
+	}
 	return e
 }
+
+// SetChunkBytes overrides the topology-derived dynamic-chunk grain of
+// the trade rounds (zero or negative restores the default). Results
+// are bit-identical for any grain.
+func (e *Engine) SetChunkBytes(bytes int) { e.drv.Pool().SetChunkBytes(bytes) }
 
 // Close releases the engine's persistent worker gang. The engine must
 // not be used afterwards.
@@ -245,8 +257,10 @@ func (e *Engine) TradeBatch(pairs [][2]uint32, stepSeed uint64) {
 	}
 	pool := e.drv.Pool()
 	e.curPairs, e.curSeed = pairs, stepSeed
-	pool.Blocks(nt, e.rankSetFn)
-	e.drv.Run(nt, e.tradeFn, nil)
+	// Rank registration is the prologue of the fused first trade round
+	// (one gang wake instead of two); trades always decide in round
+	// one, so the whole batch is prologue + one round + rank clear.
+	e.drv.RunFused(nt, e.rankSetFn, nt, e.tradeFn, nil)
 	pool.Blocks(nt, e.rankClearFn)
 	e.curPairs = nil
 	e.Attempted += int64(nt)
@@ -258,9 +272,9 @@ func (e *Engine) TradeBatch(pairs [][2]uint32, stepSeed uint64) {
 		}
 		e.scratch = e.scratch[:m]
 		e.WriteEdges(e.scratch)
-		pool.Blocks(e.set.Buckets(), e.clearFn)
-		e.set.ResetCounts()
-		pool.Blocks(m, e.rebuildFn)
+		e.compactPlan.Passes[0].N = e.set.Buckets()
+		e.compactPlan.Passes[1].N = m
+		pool.Fused(&e.compactPlan)
 	}
 }
 

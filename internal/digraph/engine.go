@@ -41,6 +41,10 @@ type Config struct {
 	// map-backed sets with no probe chains to pre-touch). Results are
 	// bit-identical with the pipeline on or off.
 	Prefetch bool
+	// ChunkBytes overrides the topology-derived dynamic-chunk grain of
+	// the parallel kernel's phases (AlgParGlobalES only); zero keeps
+	// the cache-aware default. Results are bit-identical for any value.
+	ChunkBytes int
 	// PessimisticRounds makes the parallel superstep publish decisions
 	// only at round barriers, simulating the worst-case scheduler
 	// analyzed in Theorems 2-3 (the directed mirror of core's flag,
@@ -124,16 +128,21 @@ func NewEngine(g *DiGraph, alg Algorithm, cfg Config) (*Engine, error) {
 		runner := NewSuperstepRunner(g.Arcs(), g.M()/2, w)
 		runner.Pessimistic = cfg.PessimisticRounds
 		runner.Prefetch = cfg.Prefetch
+		if cfg.ChunkBytes > 0 {
+			runner.Pool().SetChunkBytes(cfg.ChunkBytes)
+		}
 		if cons != nil {
 			bindRunner(cons, runner)
 		}
 		st = &dirParGlobalStepper{
 			m: g.M(), w: w,
-			src:     rng.NewMT19937(cfg.Seed),
-			seedSrc: rng.NewSplitMix64(cfg.Seed ^ 0x5DEECE66D),
-			runner:  runner,
-			pl:      cfg.loopProb(),
-			cons:    cons,
+			src:      rng.NewMT19937(cfg.Seed),
+			seedSrc:  rng.NewSplitMix64(cfg.Seed ^ 0x5DEECE66D),
+			runner:   runner,
+			perm:     rng.NewPermGen(g.M()),
+			dispatch: runner.Pool().Blocks,
+			pl:       cfg.loopProb(),
+			cons:     cons,
 		}
 	default:
 		return nil, ErrUnknownAlgorithm
@@ -254,20 +263,22 @@ func (s *dirSeqGlobalStepper) step(stats *RunStats) {
 // parallel superstep runner. Permutation seeds are drawn lazily from
 // the same SplitMix64 stream ParGlobalES pre-computed.
 type dirParGlobalStepper struct {
-	m, w    int
-	src     rng.Source
-	seedSrc *rng.SplitMix64
-	runner  *SuperstepRunner
-	buf     []Switch
-	pl      float64
-	prev    switching.Stats
-	cons    *constrainedRuntime
+	m, w     int
+	src      rng.Source
+	seedSrc  *rng.SplitMix64
+	runner   *SuperstepRunner
+	perm     *rng.PermGen
+	dispatch rng.Dispatch
+	buf      []Switch
+	pl       float64
+	prev     switching.Stats
+	cons     *constrainedRuntime
 }
 
 func (s *dirParGlobalStepper) release() { s.runner.Release() }
 
 func (s *dirParGlobalStepper) step(stats *RunStats) {
-	perm := rng.ParallelPerm(s.seedSrc.Uint64(), s.m, s.w)
+	perm := s.perm.Generate(s.seedSrc.Uint64(), s.dispatch)
 	l := int(rng.BinomialComplementSmall(s.src, int64(s.m/2), s.pl))
 	s.buf = GlobalSwitches(perm, l, s.buf)
 	s.runner.Run(s.buf)

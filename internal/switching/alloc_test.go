@@ -38,7 +38,7 @@ func TestRunnerSuperstepAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := g.M()
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4} {
 		for _, prefetch := range []bool{false, true} {
 			t.Run(fmt.Sprintf("workers=%d/prefetch=%v", workers, prefetch), func(t *testing.T) {
 				E := append([]graph.Edge(nil), g.Edges()...)

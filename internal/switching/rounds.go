@@ -57,6 +57,19 @@ type decision struct {
 	st uint32
 }
 
+// driverScratch is the per-worker round state. Each worker's slice
+// headers and counter live in its own padded struct: an append to a
+// delay buffer writes the header back every push, and with plain
+// []delayed slices those headers pack several workers to a cache line —
+// measured false sharing in multi-worker decide rounds. Padding to two
+// cache lines also defeats the adjacent-line prefetcher.
+type driverScratch struct {
+	delayed  []int32
+	deferred []decision
+	legal    int64
+	_        [128 - 56]byte
+}
+
 // Decide attempts to decide item k and returns conc.StatusLegal,
 // conc.StatusIllegal, or conc.StatusUndecided (delay to the next
 // round). worker identifies the calling goroutine for per-worker
@@ -116,10 +129,14 @@ type RoundDriver struct {
 	publish Publish
 	roundFn func(worker, lo, hi int)
 
+	// plan is the fused prologue+first-round dispatch (RunFused):
+	// pass 0 is the caller's registration phase, pass 1 the first
+	// decide round, separated by a sub-barrier instead of a full
+	// park/wake cycle.
+	plan conc.FusedPlan
+
 	undecided []int32
-	delayed   [][]int32
-	deferred  [][]decision
-	legalTot  []paddedCounter
+	scratch   []driverScratch
 
 	// Stats accumulated across supersteps.
 	Stats
@@ -136,10 +153,10 @@ func (d *RoundDriver) Init(workers int) {
 	}
 	d.workers = workers
 	d.pool = conc.NewPool(workers)
-	d.delayed = make([][]int32, workers)
-	d.deferred = make([][]decision, workers)
-	d.legalTot = make([]paddedCounter, workers)
+	d.scratch = make([]driverScratch, workers)
 	d.roundFn = d.roundBody
+	d.plan.Passes = make([]conc.FusedPass, 2)
+	d.plan.Passes[1] = conc.FusedPass{Chunk: -1, Fn: d.roundFn}
 }
 
 // Workers returns the parallelism degree the driver was initialized
@@ -165,6 +182,7 @@ func (d *RoundDriver) Release() {
 func (d *RoundDriver) roundBody(worker, lo, hi int) {
 	cur := d.cur
 	touch := d.PreTouch
+	sc := &d.scratch[worker]
 	var legal int64
 	for i := lo; i < hi; i++ {
 		if touch != nil && i+preTouchDist < hi {
@@ -176,19 +194,19 @@ func (d *RoundDriver) roundBody(worker, lo, hi int) {
 		case conc.StatusLegal:
 			legal++
 		case conc.StatusUndecided:
-			d.delayed[worker] = append(d.delayed[worker], k)
+			sc.delayed = append(sc.delayed, k)
 		}
 		if st != conc.StatusUndecided && d.publish != nil {
 			if d.Pessimistic {
 				// Defer visibility to the round barrier: the
 				// worst-case scheduler of the analysis.
-				d.deferred[worker] = append(d.deferred[worker], decision{k: k, st: st})
+				sc.deferred = append(sc.deferred, decision{k: k, st: st})
 			} else {
 				d.publish(k, st)
 			}
 		}
 	}
-	d.legalTot[worker].v += legal
+	sc.legal += legal
 }
 
 // Run decides one superstep of n items through the round loop. decide
@@ -198,6 +216,27 @@ func (d *RoundDriver) roundBody(worker, lo, hi int) {
 // long-lived function values (fields of the owning engine) to keep
 // supersteps allocation-free.
 func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
+	d.run(0, nil, n, decide, publish)
+}
+
+// RunFused is Run with the caller's per-superstep prologue (phase-1
+// tuple registration in Algorithm 1) folded into the first decide-round
+// dispatch: both run on one gang wake separated by an in-dispatch
+// sub-barrier, cutting a full park/wake cycle per superstep. The
+// prologue covers [0, prologueN) in static blocks and is guaranteed
+// complete on all workers before any decide executes — the same
+// ordering the separate dispatches gave. prologue must be a long-lived
+// function value to keep supersteps allocation-free.
+func (d *RoundDriver) RunFused(prologueN int, prologue func(worker, lo, hi int), n int, decide Decide, publish Publish) {
+	d.run(prologueN, prologue, n, decide, publish)
+}
+
+func (d *RoundDriver) run(proN int, proFn func(worker, lo, hi int), n int, decide Decide, publish Publish) {
+	if n == 0 && proN > 0 && proFn != nil {
+		// Degenerate superstep: registration with nothing to decide.
+		d.pool.Blocks(proN, proFn)
+		return
+	}
 	if n == 0 {
 		return
 	}
@@ -211,22 +250,30 @@ func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
 	for len(undecided) > 0 {
 		roundStart := time.Now()
 		rounds++
-		for i := range d.delayed {
-			d.delayed[i] = d.delayed[i][:0]
-			d.deferred[i] = d.deferred[i][:0]
+		for i := range d.scratch {
+			sc := &d.scratch[i]
+			sc.delayed = sc.delayed[:0]
+			sc.deferred = sc.deferred[:0]
 		}
 		d.cur = undecided
-		d.pool.Chunked(len(undecided), 0, d.roundFn)
+		if rounds == 1 && proN > 0 && proFn != nil {
+			d.plan.Passes[0] = conc.FusedPass{N: proN, Fn: proFn}
+			d.plan.Passes[1].N = len(undecided)
+			d.pool.Fused(&d.plan)
+			d.plan.Passes[0] = conc.FusedPass{}
+		} else {
+			d.pool.Chunked(len(undecided), 0, d.roundFn)
+		}
 		if d.Pessimistic && publish != nil {
-			for _, ds := range d.deferred {
-				for _, dec := range ds {
+			for i := range d.scratch {
+				for _, dec := range d.scratch[i].deferred {
 					publish(dec.k, dec.st)
 				}
 			}
 		}
 		undecided = undecided[:0]
-		for _, dl := range d.delayed {
-			undecided = append(undecided, dl...)
+		for i := range d.scratch {
+			undecided = append(undecided, d.scratch[i].delayed...)
 		}
 		if rounds == 1 {
 			d.FirstRoundTime += time.Since(roundStart)
@@ -239,9 +286,9 @@ func (d *RoundDriver) Run(n int, decide Decide, publish Publish) {
 	d.decide = nil
 	d.publish = nil
 
-	for i := range d.legalTot {
-		d.Legal += d.legalTot[i].v
-		d.legalTot[i].v = 0
+	for i := range d.scratch {
+		d.Legal += d.scratch[i].legal
+		d.scratch[i].legal = 0
 	}
 	d.InternalSupersteps++
 	d.TotalRounds += int64(rounds)

@@ -68,6 +68,15 @@ type Runner[E EdgeKind[E]] struct {
 	decideFn   Decide
 	publishFn  Publish
 	preTouchFn PreTouch
+
+	// Fused dispatch plans, built once; only the pass lengths mutate
+	// per superstep. applyPlan runs phase 3's erase and insert on a
+	// single gang wake (the erase-before-insert order is preserved by
+	// the plan's sub-barrier); compactPlan collapses the three
+	// compaction sweeps — snapshot, clear (with the serial counter
+	// reset as its barrier hook), rebuild — into one dispatch.
+	applyPlan   conc.FusedPlan
+	compactPlan conc.FusedPlan
 }
 
 // NewRunner prepares a runner for edge list E, supporting supersteps of
@@ -101,6 +110,15 @@ func NewRunner[E EdgeKind[E]](edges []E, maxSwitches, workers int) *Runner[E] {
 	r.decideFn = r.decideItem
 	r.publishFn = r.publishItem
 	r.preTouchFn = r.preTouchItem
+	r.applyPlan.Passes = []conc.FusedPass{
+		{Fn: r.eraseFn},
+		{Fn: r.insertFn},
+	}
+	r.compactPlan.Passes = []conc.FusedPass{
+		{Fn: r.snapshotFn},
+		{Fn: r.clearFn, After: r.Set.ResetCounts},
+		{Fn: r.rebuildFn},
+	}
 	return r
 }
 
@@ -116,38 +134,38 @@ func (r *Runner[E]) Run(switches []Switch) {
 	t := r.table
 	t.Reset(n)
 
-	// Phase 1 (Algorithm 1, lines 1-6): store the four dependency
-	// tuples of every switch. Tuple slots are deterministic (4k..4k+3):
-	// keys[4k]=e1, +1=e2, +2=e3, +3=e4, which decide() reads back.
-	r.pool.Blocks(n, r.phase1Fn)
-
-	// Phase 2 (lines 7-35): decide switches in rounds via the shared
-	// driver; statuses publish into the dependency table, which is the
-	// linearization point observed by dependent switches.
+	// Phases 1+2 on one gang wake (Algorithm 1, lines 1-35): the fused
+	// dispatch runs the tuple registration sweep (keys[4k]=e1, +1=e2,
+	// +2=e3, +3=e4, deterministic slots which decide() reads back) as
+	// pass 0, sub-barriers, then starts the first decide round; later
+	// rounds dispatch individually. Statuses publish into the
+	// dependency table, the linearization point observed by dependent
+	// switches.
 	if r.Prefetch {
 		r.PreTouch = r.preTouchFn
 	} else {
 		r.PreTouch = nil
 	}
-	r.RoundDriver.Run(n, r.decideFn, r.publishFn)
+	r.RoundDriver.RunFused(n, r.phase1Fn, n, r.decideFn, r.publishFn)
 	for i := range r.vetoTot {
 		r.Stats.Vetoed += r.vetoTot[i].v
 		r.vetoTot[i].v = 0
 	}
 
-	// Phase 3: apply the accepted switches to the edge set. Erasures
-	// first, then insertions, so an edge that is erased by one switch
-	// and re-inserted by another nets out present.
-	r.pool.Blocks(n, r.eraseFn)
-	r.pool.Blocks(n, r.insertFn)
+	// Phase 3: apply the accepted switches to the edge set, erasures
+	// before insertions (sub-barrier) so an edge that is erased by one
+	// switch and re-inserted by another nets out present.
+	r.applyPlan.Passes[0].N = n
+	r.applyPlan.Passes[1].N = n
+	r.pool.Fused(&r.applyPlan)
 	if r.Set.NeedsCompact() {
 		if cap(r.scratch) < len(r.E) {
 			r.scratch = make([]graph.Edge, len(r.E))
 		}
-		r.pool.Blocks(len(r.E), r.snapshotFn)
-		r.pool.Blocks(r.Set.Buckets(), r.clearFn)
-		r.Set.ResetCounts()
-		r.pool.Blocks(len(r.E), r.rebuildFn)
+		r.compactPlan.Passes[0].N = len(r.E)
+		r.compactPlan.Passes[1].N = r.Set.Buckets()
+		r.compactPlan.Passes[2].N = len(r.E)
+		r.pool.Fused(&r.compactPlan)
 	}
 	r.switches = nil
 }

@@ -14,6 +14,7 @@ type samplerConfig struct {
 	burnIn           int // supersteps before the first sample; 0 derives from swapsPerEdge
 	thinning         int // supersteps between samples; 0 derives from burn-in
 	loopProb         float64
+	chunkBytes       int
 	prefetch         bool
 	sampleViaBuckets bool
 	progress         func(Progress)
@@ -154,6 +155,23 @@ func WithLoopProb(p float64) Option {
 func WithPrefetch(on bool) Option {
 	return func(c *samplerConfig) error {
 		c.prefetch = on
+		return nil
+	}
+}
+
+// WithChunkBytes overrides the dynamic-chunk grain of the parallel
+// kernels: each work-stealing claim made by a worker covers roughly
+// this many bytes of edge data. The default derives the grain from the
+// detected cache topology (a quarter of the per-core L2, capped by the
+// workers' LLC share) and is right for almost every machine; the knob
+// exists for experiments and unusual hardware. Results are
+// bit-identical for any grain. Zero keeps the default.
+func WithChunkBytes(bytes int) Option {
+	return func(c *samplerConfig) error {
+		if bytes < 0 {
+			return fmt.Errorf("%w: got %d", ErrInvalidChunkBytes, bytes)
+		}
+		c.chunkBytes = bytes
 		return nil
 	}
 }

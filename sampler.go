@@ -464,6 +464,9 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		}
 		eng := curveball.NewEngine(g.g, cfg.workers, cfg.seed)
 		eng.Prefetch = cfg.prefetch
+		if cfg.chunkBytes > 0 {
+			eng.SetChunkBytes(cfg.chunkBytes)
+		}
 		return &curveballEngine{
 			g:      g,
 			eng:    eng,
@@ -501,6 +504,7 @@ func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		LoopProb:         cfg.loopProb,
 		Prefetch:         cfg.prefetch,
 		SampleViaBuckets: cfg.sampleViaBuckets,
+		ChunkBytes:       cfg.chunkBytes,
 		Constraint:       spec,
 	})
 	if err != nil {
@@ -549,6 +553,7 @@ func (g *DiGraph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 		Seed:       cfg.seed,
 		LoopProb:   cfg.loopProb,
 		Prefetch:   cfg.prefetch,
+		ChunkBytes: cfg.chunkBytes,
 		Constraint: spec,
 	})
 	if err != nil {
