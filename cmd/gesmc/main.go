@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,23 +47,24 @@ import (
 
 func main() {
 	var (
-		inPath   = flag.String("in", "", "input edge list file ('-' for stdin)")
-		directed = flag.Bool("directed", false, "treat -in as a directed arc list (tail head pairs)")
-		genSpec  = flag.String("gen", "", "generate input: gnp:n=..,p=.. | pld:n=..,gamma=.. | reg:n=..,d=.. | grid:r=..,c=..")
-		outPath  = flag.String("out", "", "write result to file ('-' for stdout); with -samples > 1 and -format edgelist, a pattern containing %d")
-		format   = flag.String("format", "edgelist", "output format: edgelist | ndjson (one wire.Line per sample)")
-		algoName = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers P")
-		swaps    = flag.Float64("swaps", 10, "switch attempts per edge (burn-in)")
-		steps    = flag.Int("supersteps", 0, "explicit burn-in superstep count (overrides -swaps)")
-		samples  = flag.Int("samples", 1, "number of thinned samples to draw through one reused engine")
-		thinning = flag.Int("thinning", 0, "supersteps between samples (0 = same as burn-in)")
+		inPath    = flag.String("in", "", "input edge list file ('-' for stdin)")
+		directed  = flag.Bool("directed", false, "treat -in as a directed arc list (tail head pairs)")
+		genSpec   = flag.String("gen", "", "generate input: gnp:n=..,p=.. | pld:n=..,gamma=.. | reg:n=..,d=.. | grid:r=..,c=..")
+		outPath   = flag.String("out", "", "write result to file ('-' for stdout); with -samples > 1 and -format edgelist, a pattern containing %d")
+		format    = flag.String("format", "edgelist", "output format: edgelist | ndjson (one wire.Line per sample)")
+		algoName  = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers P")
+		swaps     = flag.Float64("swaps", 10, "switch attempts per edge (burn-in)")
+		steps     = flag.Int("supersteps", 0, "explicit burn-in superstep count (overrides -swaps)")
+		samples   = flag.Int("samples", 1, "number of thinned samples to draw through one reused engine")
+		thinning  = flag.Int("thinning", 0, "supersteps between samples (0 = same as burn-in)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		stats     = flag.Bool("stats", false, "print run statistics")
 		metrics   = flag.Bool("metrics", false, "print graph metrics before and after (undirected targets)")
 		prefetch  = flag.Bool("prefetch", true, "enable hash-bucket pre-touch pipeline")
 		connected = flag.Bool("connected", false, "constrain sampling to connected graphs (the input must be connected)")
 		server    = flag.String("server", "", "forward sampling to a gesmcd daemon or coordinator at this URL instead of sampling in-process")
+		retries   = flag.Int("retries", 2, "with -server: retries for transient failures (0 disables); a stream cut mid-way resumes from the last delivered sample")
 	)
 	flag.Parse()
 
@@ -80,8 +82,9 @@ func main() {
 
 	if *server != "" {
 		req := remoteRequest(target, *algoName, max(*workers, 1), *seed, *samples, *steps, *thinning, *swaps, *connected)
-		if err := runRemote(*server, req, *format, *outPath, *stats); err != nil {
-			fatal(err)
+		if err := runRemote(*server, req, *format, *outPath, *stats, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "gesmc:", err)
+			os.Exit(exitCode(err))
 		}
 		return
 	}
@@ -223,7 +226,10 @@ func remoteRequest(target gesmc.Target, algo string, workers int, seed uint64,
 
 // runRemote streams the request through a RemoteBackend and writes the
 // samples in the chosen format, mirroring the in-process output paths.
-func runRemote(serverURL string, req *wire.SampleRequest, format, outPath string, stats bool) error {
+// retries > 0 enables the backend's retry policy with resume: transient
+// pre-stream failures back off and re-issue, and a stream cut mid-way
+// continues from the cursor of the last delivered sample.
+func runRemote(serverURL string, req *wire.SampleRequest, format, outPath string, stats bool, retries int) error {
 	if format == "edgelist" && req.Samples > 1 && outPath != "" && !strings.Contains(outPath, "%d") {
 		return fmt.Errorf("-samples %d needs an -out pattern containing %%d (or -format ndjson)", req.Samples)
 	}
@@ -232,9 +238,18 @@ func runRemote(serverURL string, req *wire.SampleRequest, format, outPath string
 		return err
 	}
 	remote := service.NewRemoteBackend(serverURL, nil)
+	if retries > 0 {
+		remote = remote.WithRetry(service.RetryPolicy{MaxAttempts: retries + 1, Resume: true})
+	}
 	err = remote.Sample(context.Background(), req, func(ln wire.Line) error {
 		if ln.Error != "" {
-			return fmt.Errorf("server: %s (%s)", ln.Error, ln.Code)
+			// A terminal in-band marker: the backend reports it as a
+			// *StreamError once the stream ends, which carries the typed
+			// failure out of this function — don't abort the decode here.
+			if ndjsonOut != nil {
+				return wire.EncodeLine(ndjsonOut, ln)
+			}
+			return nil
 		}
 		if stats && ln.Stats != nil {
 			printWireStats(ln.Stats)
@@ -450,4 +465,36 @@ func printMetrics(label string, g *gesmc.Graph) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gesmc:", err)
 	os.Exit(1)
+}
+
+// exitCode maps a -server failure to a typed exit code, so scripts can
+// tell a request they must fix (2) from a backend outage worth
+// retrying later (3), backpressure (4), and their own timeout (5).
+// In-band stream terminators (*service.StreamError) are classified by
+// the wire code they carried.
+func exitCode(err error) int {
+	var se *service.StreamError
+	if errors.As(err, &se) {
+		switch se.Line.Code {
+		case "bad_request":
+			return 2
+		case "overloaded", "shutting_down":
+			return 4
+		case "deadline", "canceled":
+			return 5
+		default: // "backend", "closed", "internal"
+			return 3
+		}
+	}
+	switch {
+	case errors.Is(err, service.ErrBadRequest):
+		return 2
+	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrShuttingDown):
+		return 4
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 5
+	case errors.Is(err, service.ErrBackend):
+		return 3
+	}
+	return 1
 }

@@ -122,7 +122,7 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 	// NDJSON sink: one line per sample, backend identity stamped.
 	dir := t.TempDir()
 	ndPath := filepath.Join(dir, "out.ndjson")
-	if err := runRemote(ts.URL, req, "ndjson", ndPath, false); err != nil {
+	if err := runRemote(ts.URL, req, "ndjson", ndPath, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(ndPath)
@@ -174,7 +174,7 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 
 	// Edge-list sink with a %d pattern writes one file per sample.
 	pat := filepath.Join(dir, "s-%d.txt")
-	if err := runRemote(ts.URL, req, "edgelist", pat, false); err != nil {
+	if err := runRemote(ts.URL, req, "edgelist", pat, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
@@ -187,13 +187,13 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 		}
 	}
 	// Multi-sample edge lists without %d are rejected up front.
-	if err := runRemote(ts.URL, req, "edgelist", filepath.Join(dir, "flat.txt"), false); err == nil {
+	if err := runRemote(ts.URL, req, "edgelist", filepath.Join(dir, "flat.txt"), false, 2); err == nil {
 		t.Fatal("multi-sample edgelist without an index pattern accepted")
 	}
 	// A server-side rejection surfaces as an error, not a silent exit.
 	bad := remoteRequest(g, "ParGlobalES", 1, 1, 1, 0, 0, 10, false)
 	bad.Degrees = []int{3, 1} // conflicting specs → 400
-	if err := runRemote(ts.URL, bad, "ndjson", filepath.Join(dir, "bad.ndjson"), false); err == nil {
+	if err := runRemote(ts.URL, bad, "ndjson", filepath.Join(dir, "bad.ndjson"), false, 2); err == nil {
 		t.Fatal("invalid request accepted")
 	}
 }
@@ -218,5 +218,32 @@ func TestLoadTargetDirected(t *testing.T) {
 	}
 	if _, err := loadTarget("", "", 1, true); err == nil {
 		t.Fatal("-directed without input accepted")
+	}
+}
+
+// TestExitCodes pins the -server exit-code contract: 2 = fix the
+// request, 3 = backend fault, 4 = backpressure, 5 = the caller's own
+// deadline, 1 = anything else.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&service.RequestError{Field: "degrees", Reason: "odd sum"}, 2},
+		{&service.BackendError{Backend: "x", Op: "stream", Err: fmt.Errorf("cut")}, 3},
+		{service.ErrOverloaded, 4},
+		{service.ErrShuttingDown, 4},
+		{context.DeadlineExceeded, 5},
+		{context.Canceled, 5},
+		{fmt.Errorf("mystery"), 1},
+		{&service.StreamError{Line: wire.Line{Error: "x", Code: "bad_request"}}, 2},
+		{&service.StreamError{Line: wire.Line{Error: "x", Code: "backend"}}, 3},
+		{&service.StreamError{Line: wire.Line{Error: "x", Code: "overloaded"}}, 4},
+		{&service.StreamError{Line: wire.Line{Error: "x", Code: "deadline"}}, 5},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
 	}
 }

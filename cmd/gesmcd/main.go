@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"gesmc/internal/cluster"
+	"gesmc/internal/faultinject"
 	"gesmc/internal/service"
 )
 
@@ -69,8 +70,21 @@ func main() {
 		replicate   = flag.Int("replicate", 2, "replicas serving one hot key (coordinator mode)")
 		hot         = flag.Int64("hot", 16, "requests per key before it is promoted to replicated service (coordinator mode)")
 		health      = flag.Duration("health", 2*time.Second, "backend health-check interval (coordinator mode)")
+
+		faults = flag.String("faults", "", "arm chaos fault points, e.g. server.stream:cut:after=5:hits=1,server.health:flap (testing only)")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		fs, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("gesmcd: %v", err)
+		}
+		for _, f := range fs {
+			faultinject.Enable(f)
+		}
+		log.Printf("gesmcd: %d fault point(s) armed: %s", len(fs), *faults)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

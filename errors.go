@@ -44,6 +44,12 @@ var (
 	// released and the chain cannot advance. Close itself is idempotent,
 	// so pooling layers may double-close defensively.
 	ErrClosed = errors.New("gesmc: sampler is closed")
+	// ErrResumeBehind is returned by FastForwardTo when the chain has
+	// already advanced past the requested sample's superstep position.
+	// Markov chains only run forward: a sampler that overshot the
+	// resume point cannot serve it, and the caller must compile a
+	// fresh chain instead.
+	ErrResumeBehind = errors.New("gesmc: chain already past the resume point")
 	// ErrInvalidConstraint is returned for malformed constraints: loop
 	// or out-of-range edges in ForbiddenEdges/ProtectedEdges, a
 	// NodeClasses array whose length differs from the node count, or a

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState uint8
+
+const (
+	// breakerClosed admits traffic; consecutive failures accumulate.
+	breakerClosed breakerState = iota
+	// breakerOpen refuses traffic until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen is the re-admission trial: health probes reach
+	// the shard, routed traffic does not, and only a run of consecutive
+	// probe successes closes the breaker again.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// breaker is one shard's circuit breaker. It replaces the previous
+// single-bit alive flag, which had a flapping failure mode: a shard
+// whose health endpoint alternated ok/dead was re-admitted on every
+// good probe and handed real requests it then dropped. The breaker
+// demands a cooldown plus `probes` consecutive successes before a
+// tripped shard serves again, so a flapping backend stays out.
+//
+// Successes and failures arrive from two sources — health probes and
+// routed request outcomes — and are treated identically: any failure
+// in half-open re-trips, any failure in closed counts toward the
+// threshold.
+type breaker struct {
+	threshold int           // consecutive failures that trip closed → open
+	cooldown  time.Duration // open → half-open no sooner than this
+	probes    int           // consecutive successes that close half-open
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive, while closed
+	successes int       // consecutive, while half-open
+	openedAt  time.Time // last trip (or failure refresh) while open
+}
+
+func newBreaker(threshold int, cooldown time.Duration, probes int) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, probes: probes}
+}
+
+// available reports whether the shard may be routed traffic: only a
+// closed breaker admits. Half-open shards receive health probes (which
+// bypass available) but no requests.
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// onFailure records a probe or request failure, reporting whether this
+// failure tripped the breaker (closed/half-open → open) — the caller's
+// eviction event.
+func (b *breaker) onFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			return true
+		}
+	case breakerHalfOpen:
+		// The trial failed; back to open for a fresh cooldown. Not a
+		// new eviction — the shard never re-admitted traffic.
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.successes = 0
+	case breakerOpen:
+		// Still failing: keep the cooldown clock pinned so a shard
+		// that fails every probe never even reaches half-open.
+		b.openedAt = time.Now()
+	}
+	return false
+}
+
+// onSuccess records a probe or request success, reporting whether it
+// closed the breaker (completed re-admission) — the caller's revival
+// event.
+func (b *breaker) onSuccess() (revived bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures = 0
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false // too soon; stay open
+		}
+		b.state = breakerHalfOpen
+		b.successes = 1
+		if b.successes >= b.probes {
+			b.state = breakerClosed
+			b.failures = 0
+			return true
+		}
+	case breakerHalfOpen:
+		b.successes++
+		if b.successes >= b.probes {
+			b.state = breakerClosed
+			b.failures = 0
+			b.successes = 0
+			return true
+		}
+	}
+	return false
+}
+
+// stateName snapshots the state for metrics.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -40,14 +41,31 @@ type Config struct {
 	// VNodes is the number of ring points per shard (default 64).
 	VNodes int
 	// HealthInterval is the background health-check period (default
-	// 2s; negative disables the loop — CheckHealth can still be called
-	// explicitly).
+	// 2s, jittered ±20% per round; negative disables the loop —
+	// CheckHealth can still be called explicitly).
 	HealthInterval time.Duration
 	// ProbeTimeout bounds one health probe (default 1s).
 	ProbeTimeout time.Duration
-	// Client issues all backend requests (nil = http.DefaultClient).
-	// Streams live as long as their request contexts, so it must not
-	// carry a global timeout.
+	// MaxAttempts bounds how many shards one request may be issued to,
+	// counting the first (default 4). Mid-stream failovers that make
+	// progress re-issue with a resume cursor and count against this
+	// bound.
+	MaxAttempts int
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// shard's circuit breaker open (default 1: the first transport or
+	// probe failure evicts).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// health probes may begin re-admission (default 3s).
+	BreakerCooldown time.Duration
+	// BreakerProbes is the consecutive probe successes half-open
+	// requires before the shard serves again (default 2 — a flapping
+	// backend that alternates good and bad probes never re-admits).
+	BreakerProbes int
+	// Client issues all backend requests (nil selects RemoteBackend's
+	// default client with dial and header timeouts). Streams live as
+	// long as their request contexts, so it must not carry a global
+	// timeout.
 	Client *http.Client
 }
 
@@ -67,15 +85,29 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 1
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 3 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
 	return c
 }
 
-// shard is one backend plus its routing state.
+// shard is one backend plus its routing state. Liveness is the shard's
+// circuit breaker: closed admits traffic, open/half-open routes around
+// it.
 type shard struct {
 	id      string
 	backend *service.RemoteBackend
+	brk     *breaker
 
-	alive    atomic.Bool
 	inflight atomic.Int64
 	requests atomic.Int64
 	errors   atomic.Int64
@@ -100,10 +132,21 @@ type shard struct {
 //     first the other replicas in ring order, then every other live
 //     shard, least-loaded first.
 //
-// Lines stream through transparently; a backend that dies after its
-// first line cannot be failed over (the client already holds a prefix
-// of that engine's chain), so the failure is surfaced as the protocol's
-// in-band error line and the shard is marked dead for later requests.
+// Mid-stream failures fail over transparently: chains are bit-exact
+// functions of (request, seed), so when a shard dies after delivering
+// k lines the coordinator re-issues the request to the next candidate
+// with ResumeFrom = k and the replacement fast-forwards its own chain
+// to the same superstep, continuing the identical stream. The client
+// sees one unbroken ensemble. Only when every candidate (bounded by
+// MaxAttempts) has failed does the coordinator terminate the stream
+// with an in-band error line, exactly as a single daemon would.
+//
+// Shard liveness is a per-shard circuit breaker: consecutive failures
+// (transport errors or failed health probes) trip it open, a cooldown
+// later health probes drive it through half-open, and only
+// BreakerProbes consecutive good probes re-admit the shard — so a
+// flapping backend stays out of the ring instead of dropping every
+// other request routed to it.
 type Coordinator struct {
 	cfg    Config
 	ring   *ring
@@ -113,18 +156,19 @@ type Coordinator struct {
 	hotMu   sync.Mutex
 	hotKeys map[uint64]int64
 
-	routedOwner   atomic.Int64
-	routedReplica atomic.Int64
-	routedSpill   atomic.Int64
-	midstream     atomic.Int64
-	evictions     atomic.Int64
-	revivals      atomic.Int64
-	failed        atomic.Int64
-	samples       atomic.Int64
+	routedOwner        atomic.Int64
+	routedReplica      atomic.Int64
+	routedSpill        atomic.Int64
+	midstream          atomic.Int64
+	midstreamFailovers atomic.Int64
+	evictions          atomic.Int64
+	revivals           atomic.Int64
+	failed             atomic.Int64
+	samples            atomic.Int64
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 // maxHotKeys bounds the promotion counter map, like the engine pool's
@@ -140,11 +184,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, errors.New("cluster: no shards configured")
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg:     cfg,
 		start:   time.Now(),
 		hotKeys: make(map[uint64]int64),
-		stop:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
 	ids := make([]string, len(cfg.Shards))
 	seen := make(map[string]bool, len(cfg.Shards))
@@ -155,13 +201,16 @@ func New(cfg Config) (*Coordinator, error) {
 			id = b.URL()
 		}
 		if seen[id] {
+			cancel()
 			return nil, fmt.Errorf("cluster: duplicate shard id %q", id)
 		}
 		seen[id] = true
 		ids[i] = id
-		sh := &shard{id: id, backend: b}
-		sh.alive.Store(true)
-		c.shards = append(c.shards, sh)
+		c.shards = append(c.shards, &shard{
+			id:      id,
+			backend: b,
+			brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes),
+		})
 	}
 	c.ring = newRing(ids, cfg.VNodes)
 	if cfg.HealthInterval > 0 {
@@ -171,33 +220,39 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Close stops the health loop. In-flight streams are unaffected (they
-// run on the caller's contexts).
+// Close stops the health loop (cancelling any probe in flight).
+// In-flight streams are unaffected (they run on the caller's
+// contexts).
 func (c *Coordinator) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.cancel()
 	c.wg.Wait()
 }
 
 func (c *Coordinator) healthLoop() {
 	defer c.wg.Done()
-	ticker := time.NewTicker(c.cfg.HealthInterval)
-	defer ticker.Stop()
 	for {
+		// ±20% jitter per round decorrelates probe bursts when a fleet
+		// of coordinators watches the same shards.
+		d := time.Duration(float64(c.cfg.HealthInterval) * (0.8 + 0.4*rand.Float64()))
+		t := time.NewTimer(d)
 		select {
-		case <-c.stop:
+		case <-c.ctx.Done():
+			t.Stop()
 			return
-		case <-ticker.C:
-			c.CheckHealth(context.Background())
+		case <-t.C:
 		}
+		c.CheckHealth(c.ctx)
 	}
 }
 
 // CheckHealth probes every shard once (bounded by ProbeTimeout each)
-// and updates the live set: a shard is alive when /v1/healthz answers
-// "ok" — a draining daemon (503) is routed around just like a dead
-// one, since it refuses new work anyway. Evicting a shard re-hashes
-// its keys to their next live ring successor; a recovered shard takes
-// its arcs back on revival.
+// and feeds the outcomes to the shards' circuit breakers: a probe
+// succeeds when /v1/healthz answers "ok" — a draining daemon (503) is
+// routed around just like a dead one, since it refuses new work
+// anyway. Tripping a breaker re-hashes the shard's keys to their next
+// live ring successor; a recovered shard takes its arcs back once the
+// breaker closes again (cooldown + BreakerProbes consecutive good
+// probes).
 func (c *Coordinator) CheckHealth(ctx context.Context) {
 	var wg sync.WaitGroup
 	for _, sh := range c.shards {
@@ -207,20 +262,16 @@ func (c *Coordinator) CheckHealth(ctx context.Context) {
 			pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
 			defer cancel()
 			h, err := sh.backend.Health(pctx)
-			c.setAlive(sh, err == nil && h.Status == "ok")
+			if err == nil && h.Status == "ok" {
+				if sh.brk.onSuccess() {
+					c.revivals.Add(1)
+				}
+			} else if sh.brk.onFailure() {
+				c.evictions.Add(1)
+			}
 		}(sh)
 	}
 	wg.Wait()
-}
-
-func (c *Coordinator) setAlive(sh *shard, alive bool) {
-	if alive {
-		if sh.alive.CompareAndSwap(false, true) {
-			c.revivals.Add(1)
-		}
-	} else if sh.alive.CompareAndSwap(true, false) {
-		c.evictions.Add(1)
-	}
 }
 
 // noteKey bumps the key's routed count and reports whether the key is
@@ -255,7 +306,7 @@ type candidate struct {
 // key's rotated replica set), then every other live shard as spill
 // targets, least-loaded first.
 func (c *Coordinator) candidates(key uint64, seq int64, hot bool) []candidate {
-	aliveFn := func(i int) bool { return c.shards[i].alive.Load() }
+	aliveFn := func(i int) bool { return c.shards[i].brk.available() }
 	want := 1
 	if hot {
 		want = c.cfg.Replication
@@ -293,13 +344,26 @@ func (c *Coordinator) candidates(key uint64, seq int64, hot bool) []candidate {
 }
 
 // Sample routes one request: hash the engine-pool key onto the ring,
-// then try candidates in order until one streams the ensemble. Only
-// pre-stream failures fail over; see the type comment for the policy.
+// then try candidates in order until one streams the ensemble.
+// Pre-stream failures simply move to the next candidate; a shard that
+// dies after delivering lines is failed over transparently by
+// re-issuing the request to the next candidate with ResumeFrom set to
+// the cursor of the last delivered line — determinism makes the
+// replacement's suffix bit-identical, so the client sees one unbroken
+// stream. Only when MaxAttempts shards have failed does the stream
+// terminate with an in-band error line.
 func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
 	key, err := service.PoolKey(req)
 	if err != nil {
 		return err
 	}
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 1
+	}
+	base := req.ResumeFrom
+	cursor := base
+
 	seq, hot := c.noteKey(key)
 	cands := c.candidates(key, seq-1, hot)
 	if len(cands) == 0 {
@@ -307,24 +371,61 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 		return &service.BackendError{Backend: c.cfg.ID, Op: "route", Err: errors.New("no live shards")}
 	}
 
-	delivered := 0
+	attempts := 0
 	var lastErr error
+	lastShard := cands[0].sh.id
 	for _, cand := range cands {
+		if attempts >= c.cfg.MaxAttempts {
+			break
+		}
 		sh := cand.sh
+		if attempts > 0 && !sh.brk.available() {
+			// Tripped since the candidate list was computed (possibly by
+			// this very request's previous attempt).
+			continue
+		}
+		attempts++
+		if cursor > base {
+			// Re-issuing mid-stream: the replacement shard fast-forwards
+			// its chain to the cursor; the client never notices.
+			c.midstreamFailovers.Add(1)
+		}
+		creq := *req
+		creq.ResumeFrom = cursor
+
+		var held *wire.Line
+		var emitFailed error
 		sh.requests.Add(1)
 		sh.inflight.Add(1)
-		err := sh.backend.Sample(ctx, req, func(ln wire.Line) error {
+		err := sh.backend.Sample(ctx, &creq, func(ln wire.Line) error {
+			if ln.Error != "" {
+				// Hold the shard's in-band terminator back: if failover
+				// succeeds the client must never see it; if the failure
+				// is genuinely terminal it is re-emitted below.
+				cp := ln
+				held = &cp
+				return nil
+			}
 			if ln.Stats != nil && ln.Stats.Backend == "" {
 				ln.Stats.Backend = sh.id
 			}
-			if ln.Error == "" {
-				c.samples.Add(1)
+			if err := emit(ln); err != nil {
+				emitFailed = err
+				return err
 			}
-			delivered++
-			return emit(ln)
+			c.samples.Add(1)
+			if nc := ln.Cursor; nc > cursor {
+				cursor = nc
+			} else if ln.Index+1 > cursor {
+				cursor = ln.Index + 1
+			}
+			return nil
 		})
 		sh.inflight.Add(-1)
 		if err == nil {
+			if sh.brk.onSuccess() {
+				c.revivals.Add(1)
+			}
 			switch cand.class {
 			case routeOwner:
 				c.routedOwner.Add(1)
@@ -336,52 +437,71 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 			return nil
 		}
 		lastErr = err
+		lastShard = sh.id
 
-		// The caller's own cancellation (or its emit failing) is not a
-		// shard fault; a bad request would be rejected identically
-		// everywhere.
-		if ctx.Err() != nil || errors.Is(err, service.ErrBadRequest) {
+		// The consumer's own failure, its cancellation, and a request
+		// every shard rejects identically are terminal — no candidate
+		// fixes them.
+		if emitFailed != nil || ctx.Err() != nil || errors.Is(err, service.ErrBadRequest) {
 			c.failed.Add(1)
 			return err
 		}
 		var se *service.StreamError
-		if errors.As(err, &se) {
-			// The backend terminated in-band (its line is already
-			// forwarded): the stream is complete as far as the protocol
-			// goes; do not re-route, do not double-terminate.
+		switch {
+		case errors.As(err, &se):
 			sh.errors.Add(1)
-			c.failed.Add(1)
-			return err
-		}
-		if errors.Is(err, service.ErrBackend) {
-			// Transport failure: the shard is gone until a health probe
-			// says otherwise; its keys re-hash to live successors.
+			if se.Line.Code == "canceled" || se.Line.Code == "deadline" {
+				// The request's own timeout_ms budget expired mid-chain;
+				// a fresh shard would burn the same budget again. Forward
+				// the held terminator and give up.
+				c.failed.Add(1)
+				if held != nil {
+					c.midstream.Add(1)
+					emit(*held)
+				}
+				return err
+			}
+			// The shard reported an internal failure in-band ("backend",
+			// "closed", "internal"): treat it like a transport death and
+			// fail over from the cursor.
+			if sh.brk.onFailure() {
+				c.evictions.Add(1)
+			}
+		case errors.Is(err, service.ErrBackend):
+			// Transport failure — refused dial, reset mid-body: trip
+			// toward eviction; keys re-hash to live successors.
 			sh.errors.Add(1)
-			c.setAlive(sh, false)
-		} else if errors.Is(err, service.ErrOverloaded) || errors.Is(err, service.ErrShuttingDown) {
-			// Skew or drain on the owner: spill without evicting.
+			if sh.brk.onFailure() {
+				c.evictions.Add(1)
+			}
+		case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrShuttingDown):
+			// Skew or drain on the owner: spill without touching the
+			// breaker — refusing load is not failing it.
 			sh.errors.Add(1)
-		} else {
+		default:
 			// Unclassified failure (backend bug): count it and try the
 			// next candidate anyway.
 			sh.errors.Add(1)
 		}
-		if delivered > 0 {
-			// Mid-stream death: the client already holds a prefix of
-			// this engine's chain, so failover would splice two
-			// different chains. Terminate in-band instead, exactly as a
-			// single daemon's Service does.
-			c.midstream.Add(1)
-			c.failed.Add(1)
-			emit(wire.Line{
-				Index: delivered,
-				Error: fmt.Sprintf("backend %s failed mid-stream: %v", sh.id, err),
-				Code:  "backend",
-			})
-			return err
+		if cursor >= samples {
+			// The failure landed between the last sample line and the
+			// clean EOF: the ensemble was fully delivered.
+			return nil
 		}
 	}
+
 	c.failed.Add(1)
+	if cursor > base {
+		// Every candidate is gone and the client holds a prefix:
+		// terminate in-band, exactly as a single daemon's Service does.
+		c.midstream.Add(1)
+		emit(wire.Line{
+			Index:  cursor,
+			Cursor: cursor,
+			Error:  fmt.Sprintf("backend %s failed mid-stream: %v", lastShard, lastErr),
+			Code:   "backend",
+		})
+	}
 	return lastErr
 }
 
@@ -389,7 +509,7 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 func (c *Coordinator) Health(context.Context) (wire.Health, error) {
 	status := "unavailable"
 	for _, sh := range c.shards {
-		if sh.alive.Load() {
+		if sh.brk.available() {
 			status = "ok"
 			break
 		}
@@ -402,12 +522,13 @@ func (c *Coordinator) Health(context.Context) (wire.Health, error) {
 // stays on the shards' own /v1/metrics endpoints.
 func (c *Coordinator) Metrics(context.Context) (wire.Metrics, error) {
 	cm := &wire.ClusterMetrics{
-		RoutedOwner:       c.routedOwner.Load(),
-		RoutedReplica:     c.routedReplica.Load(),
-		RoutedSpill:       c.routedSpill.Load(),
-		MidstreamFailures: c.midstream.Load(),
-		Evictions:         c.evictions.Load(),
-		Revivals:          c.revivals.Load(),
+		RoutedOwner:        c.routedOwner.Load(),
+		RoutedReplica:      c.routedReplica.Load(),
+		RoutedSpill:        c.routedSpill.Load(),
+		MidstreamFailovers: c.midstreamFailovers.Load(),
+		MidstreamFailures:  c.midstream.Load(),
+		Evictions:          c.evictions.Load(),
+		Revivals:           c.revivals.Load(),
 	}
 	var inflight int64
 	for _, sh := range c.shards {
@@ -416,7 +537,8 @@ func (c *Coordinator) Metrics(context.Context) (wire.Metrics, error) {
 		cm.Shards = append(cm.Shards, wire.ShardMetrics{
 			ID:       sh.id,
 			URL:      sh.backend.URL(),
-			Alive:    sh.alive.Load(),
+			Alive:    sh.brk.available(),
+			Breaker:  sh.brk.stateName(),
 			Inflight: infl,
 			Requests: sh.requests.Load(),
 			Errors:   sh.errors.Load(),

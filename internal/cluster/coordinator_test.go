@@ -196,9 +196,10 @@ func dyingShard(t *testing.T, okLines int) *httptest.Server {
 }
 
 // TestCoordinatorFailoverMidStream: kill a backend mid-stream and
-// assert the client sees the delivered prefix terminated by an in-band
-// error line, the shard is evicted, and subsequent requests re-hash to
-// the live shard deterministically.
+// assert the client sees one unbroken stream — the delivered prefix
+// from the dying shard spliced with the resumed suffix from the live
+// one, no in-band error — plus the eviction, and that subsequent
+// requests re-hash to the live shard deterministically.
 func TestCoordinatorFailoverMidStream(t *testing.T) {
 	dying := dyingShard(t, 2)
 	live := testShard(t, "shard-1")
@@ -208,28 +209,42 @@ func TestCoordinatorFailoverMidStream(t *testing.T) {
 
 	req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{2, 2, 1, 1}, Samples: 5})
 	lines, err := collectErr(c, &req)
-	if !errors.Is(err, service.ErrBackend) {
-		t.Fatalf("err=%v, want ErrBackend", err)
+	if err != nil {
+		t.Fatalf("failover stream err=%v, want transparent recovery", err)
 	}
-	if len(lines) != 3 {
-		t.Fatalf("%d lines, want 2 samples + 1 error line: %+v", len(lines), lines)
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5 (2 from dying + 3 resumed): %+v", len(lines), lines)
 	}
-	last := lines[2]
-	if last.Error == "" || last.Code != "backend" || last.Index != 2 {
-		t.Fatalf("in-band terminator: %+v", last)
+	for i, ln := range lines {
+		if ln.Error != "" || ln.Index != i || ln.Stats == nil {
+			t.Fatalf("line %d: %+v", i, ln)
+		}
+		want := dyingID
+		if i >= 2 {
+			want = liveID
+		}
+		if ln.Stats.Backend != want {
+			t.Fatalf("line %d served by %q, want %q", i, ln.Stats.Backend, want)
+		}
 	}
-	for _, ln := range lines[:2] {
-		if ln.Error != "" || ln.Stats == nil || ln.Stats.Backend != dyingID {
-			t.Fatalf("prefix line: %+v", ln)
+	// The resumed suffix carries cursors (the dying shard's canned
+	// lines predate them, which also exercises the Index+1 fallback).
+	for _, ln := range lines[2:] {
+		if ln.Cursor != ln.Index+1 {
+			t.Fatalf("resumed line cursor: %+v", ln)
 		}
 	}
 
-	// The transport failure evicted the shard; everything it owned
-	// re-hashes to the live shard — deterministically, repeat runs
-	// agree.
+	// The transport failure evicted the shard and was recovered by one
+	// mid-stream failover (no terminal midstream failure); everything
+	// the shard owned re-hashes to the live shard — deterministically,
+	// repeat runs agree.
 	m, _ := c.Metrics(context.Background())
-	if m.Cluster.Evictions != 1 || m.Cluster.MidstreamFailures != 1 {
+	if m.Cluster.Evictions != 1 || m.Cluster.MidstreamFailovers != 1 || m.Cluster.MidstreamFailures != 0 {
 		t.Fatalf("cluster metrics after kill: %+v", m.Cluster)
+	}
+	if m.Cluster.Shards[0].Breaker != "open" || m.Cluster.Shards[1].Breaker != "closed" {
+		t.Fatalf("breaker states: %+v", m.Cluster.Shards)
 	}
 	for round := 0; round < 2; round++ {
 		for seed := uint64(1); seed <= 6; seed++ {

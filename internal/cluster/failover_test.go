@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gesmc/internal/faultinject"
+	"gesmc/internal/service"
+	"gesmc/wire"
+)
+
+// TestCoordinatorChaosDifferential is the chaos acceptance gate: a
+// coordinated stream whose owning shard is cut mid-stream (via the
+// fault-injection registry — the same path a SIGKILL takes on the
+// wire) is bit-identical to the uninterrupted single-backend stream,
+// and the failover is visible in the cluster metrics.
+func TestCoordinatorChaosDifferential(t *testing.T) {
+	// Reference: the canonical stream from one fresh daemon, collected
+	// before any fault is armed.
+	svc := service.New(service.Config{WorkerBudget: 4})
+	defer svc.Shutdown(context.Background())
+	c0 := testCoordinator(t, Config{}, testShard(t, "shard-0"), testShard(t, "shard-1"))
+	req := seedOwnedBy(t, c0, 0, wire.SampleRequest{Degrees: []int{4, 3, 3, 2, 2, 2, 1, 1}, Samples: 6, Workers: 2})
+	ref, err := collectErr(service.NewLocalBackend(svc), &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run: fresh shards (cold pools, same canonical chains), cut
+	// the stream after 3 lines. The owner serves first, so the single
+	// charge lands on it; the failover target finds the fault spent.
+	c := testCoordinator(t, Config{}, testShard(t, "shard-0"), testShard(t, "shard-1"))
+	faultinject.Enable(faultinject.Fault{Point: faultinject.ServerStream, Mode: faultinject.Cut, AfterLines: 3, Hits: 1})
+	defer faultinject.Reset()
+
+	lines, err := collectErr(c, &req)
+	if err != nil {
+		t.Fatalf("chaos stream err=%v, want transparent failover", err)
+	}
+	// payload comparison strips Stats (durations and placement differ).
+	if a, b := payload(lines), payload(ref); a != b {
+		t.Fatalf("chaos stream diverged from reference:\n%s\n%s", a, b)
+	}
+	for i, ln := range lines {
+		want := "shard-0"
+		if i >= 3 {
+			want = "shard-1"
+		}
+		if ln.Stats == nil || ln.Stats.Backend != want {
+			t.Fatalf("line %d placement: %+v", i, ln.Stats)
+		}
+	}
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.MidstreamFailovers != 1 || m.Cluster.Evictions != 1 || m.Cluster.MidstreamFailures != 0 {
+		t.Fatalf("cluster metrics: %+v", m.Cluster)
+	}
+}
+
+// TestCoordinatorExhaustedFailoverTerminatesInBand: when every
+// candidate dies mid-stream, the stream ends with one honest in-band
+// error line at the cursor instead of pretending to recover.
+func TestCoordinatorExhaustedFailoverTerminatesInBand(t *testing.T) {
+	dying0 := dyingShard(t, 2)
+	dying1 := dyingShard(t, 0)
+	c := testCoordinator(t, Config{}, dying0, dying1)
+
+	req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{2, 2, 1, 1}, Samples: 5})
+	lines, err := collectErr(c, &req)
+	if err == nil {
+		t.Fatal("want terminal error when every shard dies")
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 2 samples + 1 terminator: %+v", len(lines), lines)
+	}
+	last := lines[2]
+	if last.Error == "" || last.Code != "backend" || last.Index != 2 || last.Cursor != 2 {
+		t.Fatalf("in-band terminator: %+v", last)
+	}
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.MidstreamFailovers != 1 || m.Cluster.MidstreamFailures != 1 || m.Cluster.Evictions != 2 {
+		t.Fatalf("cluster metrics: %+v", m.Cluster)
+	}
+}
+
+// flappingShard alternates dead and ok health probes, starting dead —
+// the scenario the single-bit alive flag was fooled by.
+func flappingShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(wire.Health{Status: "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoordinatorBreakerHoldsOutFlappingShard: a shard whose probes
+// alternate dead/ok is evicted on the first bad probe and never
+// re-admitted — half-open demands BreakerProbes consecutive
+// successes, and a flapper never strings two together.
+func TestCoordinatorBreakerHoldsOutFlappingShard(t *testing.T) {
+	flap := flappingShard(t)
+	live := testShard(t, "shard-1")
+	c := testCoordinator(t, Config{BreakerCooldown: time.Nanosecond}, flap, live)
+
+	for i := 0; i < 8; i++ {
+		c.CheckHealth(context.Background())
+	}
+	m, _ := c.Metrics(context.Background())
+	if m.Cluster.Shards[0].Alive || m.Cluster.Revivals != 0 {
+		t.Fatalf("flapping shard re-admitted: %+v", m.Cluster)
+	}
+	if m.Cluster.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1 (one trip, no churn)", m.Cluster.Evictions)
+	}
+}
+
+// TestCoordinatorBreakerReadmitsAfterRecovery: a shard that dies,
+// trips, and then answers good probes again is re-admitted after the
+// cooldown plus BreakerProbes consecutive successes — and takes its
+// ring arcs back.
+func TestCoordinatorBreakerReadmitsAfterRecovery(t *testing.T) {
+	var dead atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(wire.Health{Status: "ok"})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	live := testShard(t, "shard-1")
+	c := testCoordinator(t, Config{BreakerCooldown: time.Nanosecond, BreakerProbes: 2}, ts, live)
+
+	dead.Store(true)
+	c.CheckHealth(context.Background())
+	if m, _ := c.Metrics(context.Background()); m.Cluster.Shards[0].Alive || m.Cluster.Shards[0].Breaker != "open" {
+		t.Fatalf("after death: %+v", m.Cluster.Shards[0])
+	}
+
+	dead.Store(false)
+	c.CheckHealth(context.Background()) // cooldown elapsed → half-open, 1/2
+	if m, _ := c.Metrics(context.Background()); m.Cluster.Shards[0].Alive || m.Cluster.Shards[0].Breaker != "half_open" {
+		t.Fatalf("after first good probe: %+v", m.Cluster.Shards[0])
+	}
+	c.CheckHealth(context.Background()) // 2/2 → closed
+	m, _ := c.Metrics(context.Background())
+	if !m.Cluster.Shards[0].Alive || m.Cluster.Shards[0].Breaker != "closed" || m.Cluster.Revivals != 1 {
+		t.Fatalf("after re-admission: %+v", m.Cluster)
+	}
+}
+
+// TestBreakerStateMachine pins the automaton itself: threshold
+// accumulation, cooldown gating, half-open re-trip, and probe-counted
+// closure.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(2, 10*time.Millisecond, 2)
+	if !b.available() {
+		t.Fatal("new breaker must start closed")
+	}
+	if b.onFailure() {
+		t.Fatal("first failure below threshold must not trip")
+	}
+	if b.onSuccess() {
+		t.Fatal("success while closed is not a revival")
+	}
+	if b.onFailure() {
+		t.Fatal("counter must reset on success")
+	}
+	if !b.onFailure() {
+		t.Fatal("threshold consecutive failures must trip")
+	}
+	if b.available() || b.stateName() != "open" {
+		t.Fatalf("tripped breaker: %s", b.stateName())
+	}
+	if b.onSuccess() {
+		t.Fatal("success inside cooldown must not open the trial")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if b.onSuccess() {
+		t.Fatal("first trial success must not yet close (probes=2)")
+	}
+	if b.available() || b.stateName() != "half_open" {
+		t.Fatalf("trial state: %s", b.stateName())
+	}
+	if b.onFailure() {
+		t.Fatal("half-open failure re-trips without a new eviction")
+	}
+	if b.stateName() != "open" {
+		t.Fatalf("re-tripped state: %s", b.stateName())
+	}
+	time.Sleep(15 * time.Millisecond)
+	b.onSuccess()
+	if !b.onSuccess() {
+		t.Fatal("probes consecutive successes must close and revive")
+	}
+	if !b.available() {
+		t.Fatal("closed breaker must admit")
+	}
+}

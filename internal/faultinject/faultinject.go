@@ -1,0 +1,273 @@
+// Package faultinject is the chaos-injection registry of the sampling
+// service: named fault points compiled into the daemon handler and the
+// RemoteBackend transport, armed at runtime by tests (or the gesmcd
+// -faults flag) to simulate the failures the recovery layer must
+// survive — a backend killed mid-stream, a stalled response, a 503
+// burst, a refused dial, a flapping health endpoint.
+//
+// The registry is build-safe: the fault points ship in production
+// binaries, but an unarmed registry costs one atomic load per check
+// (Lookup returns nil without taking a lock while nothing is armed),
+// so the hooks are free until a chaos harness arms them.
+//
+// Faults are identified by point name. Arming a point replaces any
+// fault already armed there; Hits bounds how many times the fault
+// fires before it exhausts in place (0 = unlimited). Typical test use:
+//
+//	faultinject.Enable(faultinject.Fault{
+//	        Point: faultinject.ServerStream, Mode: faultinject.Cut,
+//	        AfterLines: 4, Hits: 1,
+//	})
+//	defer faultinject.Reset()
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the failure behavior of an armed fault. The meaning is
+// interpreted by the fault point: Cut severs a response stream without
+// a clean EOF, Stall sleeps Delay before proceeding, Deny fails the
+// operation outright (an HTTP point answers Status, a transport point
+// synthesizes a connection refusal), and Flap alternates Deny and
+// success on consecutive triggers (the probe-flap scenario a circuit
+// breaker must not be fooled by).
+type Mode uint8
+
+const (
+	// Cut severs the stream after AfterLines lines, with no clean EOF —
+	// the wire image of a daemon killed mid-stream.
+	Cut Mode = iota + 1
+	// Stall sleeps Delay at the fault point before proceeding.
+	Stall
+	// Deny fails the operation: HTTP points answer Status (default
+	// 503), the transport point reports a refused connection.
+	Deny
+	// Flap alternates Deny and success per trigger, starting with Deny.
+	Flap
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Cut:
+		return "cut"
+	case Stall:
+		return "stall"
+	case Deny:
+		return "deny"
+	case Flap:
+		return "flap"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// The named fault points wired into the service.
+const (
+	// ServerSample fires in the daemon handler before a sampling
+	// request is admitted (Deny = pre-stream 503/429 burst).
+	ServerSample = "server.sample"
+	// ServerStream fires in the daemon handler per streamed line, once
+	// AfterLines lines have been written (Cut = kill mid-stream).
+	ServerStream = "server.stream"
+	// ServerHealth fires in the /v1/healthz handler (Deny = dead probe,
+	// Flap = probe flapping).
+	ServerHealth = "server.health"
+	// RemoteRequest fires in RemoteBackend before the HTTP request is
+	// issued (Deny = dial refusal, Stall = slow connect).
+	RemoteRequest = "remote.request"
+)
+
+// Fault is the configuration of one armed fault.
+type Fault struct {
+	// Point names the fault point (one of the constants above, or any
+	// string a custom integration checks).
+	Point string
+	// Mode selects the behavior.
+	Mode Mode
+	// AfterLines delays a ServerStream fault until that many lines have
+	// been streamed (0 = fire on the first line).
+	AfterLines int
+	// Status is the HTTP status a Deny/Flap fault answers (0 = 503).
+	Status int
+	// Delay is the Stall duration.
+	Delay time.Duration
+	// Hits bounds how many times the fault fires before exhausting
+	// (0 = unlimited).
+	Hits int64
+}
+
+// Armed is a Fault armed in the registry, carrying its trigger
+// counters. Fault points interrogate it with Spend and Fail.
+type Armed struct {
+	Fault
+	spent atomic.Int64
+	calls atomic.Int64
+}
+
+// Spend consumes one trigger charge, reporting whether the fault still
+// fires. With Hits == 0 it always fires; otherwise the first Hits
+// calls fire and later ones do not (the fault exhausts in place).
+func (a *Armed) Spend() bool {
+	if a.Hits <= 0 {
+		return true
+	}
+	return a.spent.Add(1) <= a.Hits
+}
+
+// Fail reports whether a Deny-class trigger should fail this call:
+// Deny fails every (non-exhausted) call, Flap fails every other one,
+// starting with a failure. Other modes never Fail.
+func (a *Armed) Fail() bool {
+	switch a.Mode {
+	case Deny:
+		return a.Spend()
+	case Flap:
+		if a.calls.Add(1)%2 == 1 {
+			return a.Spend()
+		}
+		return false
+	}
+	return false
+}
+
+// DenyStatus is the HTTP status a Deny/Flap fault answers.
+func (a *Armed) DenyStatus() int {
+	if a.Status != 0 {
+		return a.Status
+	}
+	return 503
+}
+
+var (
+	mu     sync.RWMutex
+	armed  map[string]*Armed
+	active atomic.Int32 // len(armed), read lock-free on the fast path
+)
+
+// Enable arms f at its point, replacing any fault armed there.
+func Enable(f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if armed == nil {
+		armed = make(map[string]*Armed)
+	}
+	armed[f.Point] = &Armed{Fault: f}
+	active.Store(int32(len(armed)))
+}
+
+// Disable disarms the fault at point, if any.
+func Disable(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(armed, point)
+	active.Store(int32(len(armed)))
+}
+
+// Reset disarms every fault.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	active.Store(0)
+}
+
+// Lookup returns the fault armed at point, or nil. The nothing-armed
+// fast path is one atomic load; production traffic never takes the
+// registry lock.
+func Lookup(point string) *Armed {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	defer mu.RUnlock()
+	return armed[point]
+}
+
+// Sleep blocks for d or until ctx is done — the Stall implementation,
+// shared by the fault points so a stalled handler still honors
+// cancellation.
+func Sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// ParseSpec parses the -faults flag grammar: comma-separated faults,
+// each "point:mode[:key=value...]" with keys after, status, delay,
+// hits. Example:
+//
+//	server.stream:cut:after=5:hits=1,server.health:flap
+func ParseSpec(spec string) ([]Fault, error) {
+	var out []Fault
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("faultinject: %q: want point:mode[:key=value...]", item)
+		}
+		f := Fault{Point: parts[0]}
+		switch parts[1] {
+		case "cut":
+			f.Mode = Cut
+		case "stall":
+			f.Mode = Stall
+		case "deny":
+			f.Mode = Deny
+		case "flap":
+			f.Mode = Flap
+		default:
+			return nil, fmt.Errorf("faultinject: %q: unknown mode %q", item, parts[1])
+		}
+		for _, kv := range parts[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: %q: malformed parameter %q", item, kv)
+			}
+			switch k {
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: after=%q: %v", item, v, err)
+				}
+				f.AfterLines = n
+			case "status":
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: status=%q: %v", item, v, err)
+				}
+				f.Status = n
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: delay=%q: %v", item, v, err)
+				}
+				f.Delay = d
+			case "hits":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: %q: hits=%q: %v", item, v, err)
+				}
+				f.Hits = n
+			default:
+				return nil, fmt.Errorf("faultinject: %q: unknown parameter %q", item, k)
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

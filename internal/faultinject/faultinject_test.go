@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLookupUnarmedIsNil(t *testing.T) {
+	Reset()
+	if Lookup(ServerStream) != nil {
+		t.Fatal("unarmed registry returned a fault")
+	}
+	Enable(Fault{Point: ServerStream, Mode: Cut, AfterLines: 3})
+	defer Reset()
+	if f := Lookup(ServerStream); f == nil || f.AfterLines != 3 {
+		t.Fatalf("armed fault: %+v", f)
+	}
+	if Lookup(ServerHealth) != nil {
+		t.Fatal("different point returned the armed fault")
+	}
+	Disable(ServerStream)
+	if Lookup(ServerStream) != nil {
+		t.Fatal("disabled fault still armed")
+	}
+}
+
+func TestSpendHonorsHitBudget(t *testing.T) {
+	defer Reset()
+	Enable(Fault{Point: ServerSample, Mode: Deny, Hits: 2})
+	f := Lookup(ServerSample)
+	if !f.Spend() || !f.Spend() {
+		t.Fatal("budgeted hits must fire")
+	}
+	if f.Spend() {
+		t.Fatal("exhausted fault still fires")
+	}
+	Enable(Fault{Point: ServerSample, Mode: Deny}) // Hits 0 = unlimited
+	f = Lookup(ServerSample)
+	for i := 0; i < 10; i++ {
+		if !f.Spend() {
+			t.Fatal("unlimited fault stopped firing")
+		}
+	}
+}
+
+func TestFailModes(t *testing.T) {
+	defer Reset()
+	deny := &Armed{Fault: Fault{Mode: Deny}}
+	for i := 0; i < 3; i++ {
+		if !deny.Fail() {
+			t.Fatal("Deny must fail every call")
+		}
+	}
+	if deny.DenyStatus() != 503 {
+		t.Fatalf("default deny status %d", deny.DenyStatus())
+	}
+	burst := &Armed{Fault: Fault{Mode: Deny, Status: 429}}
+	if burst.DenyStatus() != 429 {
+		t.Fatalf("deny status %d", burst.DenyStatus())
+	}
+	flap := &Armed{Fault: Fault{Mode: Flap}}
+	want := []bool{true, false, true, false}
+	for i, w := range want {
+		if got := flap.Fail(); got != w {
+			t.Fatalf("flap call %d: %v, want %v", i, got, w)
+		}
+	}
+	cut := &Armed{Fault: Fault{Mode: Cut}}
+	if cut.Fail() {
+		t.Fatal("Cut is not a Deny-class mode")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	faults, err := ParseSpec("server.stream:cut:after=5:hits=1, server.health:flap, remote.request:stall:delay=20ms, server.sample:deny:status=429")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 4 {
+		t.Fatalf("%d faults", len(faults))
+	}
+	if f := faults[0]; f.Point != ServerStream || f.Mode != Cut || f.AfterLines != 5 || f.Hits != 1 {
+		t.Fatalf("fault 0: %+v", f)
+	}
+	if f := faults[1]; f.Point != ServerHealth || f.Mode != Flap {
+		t.Fatalf("fault 1: %+v", f)
+	}
+	if f := faults[2]; f.Mode != Stall || f.Delay != 20*time.Millisecond {
+		t.Fatalf("fault 2: %+v", f)
+	}
+	if f := faults[3]; f.Mode != Deny || f.Status != 429 {
+		t.Fatalf("fault 3: %+v", f)
+	}
+
+	for _, bad := range []string{
+		"server.stream",           // no mode
+		"server.stream:explode",   // unknown mode
+		"server.stream:cut:after", // malformed kv
+		"server.stream:cut:after=x",
+		"server.stream:cut:color=red",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
+	"gesmc/internal/faultinject"
 	"gesmc/wire"
 )
 
@@ -30,20 +33,54 @@ import (
 type RemoteBackend struct {
 	base   string
 	client *http.Client
+	retry  RetryPolicy
+}
+
+// defaultClient builds the client used when NewRemoteBackend is handed
+// nil. Unlike http.DefaultClient it bounds the phases that can hang on
+// a dead peer — dialing and waiting for response headers — while
+// leaving the body unbounded, because a streaming response legitimately
+// lives as long as its request context. The header timeout is generous:
+// the daemon sends no bytes until the first sample clears burn-in,
+// which on a large graph takes real time.
+func defaultClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 2 * time.Minute,
+		MaxIdleConnsPerHost:   8,
+		IdleConnTimeout:       90 * time.Second,
+	}}
 }
 
 // NewRemoteBackend targets a daemon at baseURL (scheme defaults to
-// http://, a trailing slash is trimmed). client nil selects
-// http.DefaultClient; streaming requests live as long as their
-// context, so the client should not carry a global timeout.
+// http://, a trailing slash is trimmed). client nil selects a default
+// client with dial and response-header timeouts but no whole-request
+// timeout — streaming requests live as long as their context, so a
+// caller-supplied client should not carry a global timeout either.
 func NewRemoteBackend(baseURL string, client *http.Client) *RemoteBackend {
 	if !strings.Contains(baseURL, "://") {
 		baseURL = "http://" + baseURL
 	}
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient()
 	}
 	return &RemoteBackend{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// WithRetry enables automatic retry with policy p (zero-valued fields
+// take the documented defaults; MaxAttempts <= 0 selects 3) and returns
+// the backend for chaining. Only errors classified by Retryable are
+// retried; with p.Resume, a mid-stream transport cut is additionally
+// re-issued from the cursor of the last delivered line. The cluster
+// coordinator does not use this — its cross-shard failover is the
+// retry tier there — but the CLI's -server mode does.
+func (b *RemoteBackend) WithRetry(p RetryPolicy) *RemoteBackend {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	b.retry = p.withDefaults()
+	return b
 }
 
 // URL returns the backend's base URL.
@@ -90,10 +127,87 @@ func (e *emitError) Error() string { return e.err.Error() }
 
 // Sample posts req and forwards every NDJSON line to emit verbatim,
 // including a terminal in-band error line (reported as *StreamError).
+// With a WithRetry policy, retryable pre-stream failures are re-issued
+// after backoff, and (if the policy enables Resume) a mid-stream
+// transport cut is re-issued with ResumeFrom set to the cursor of the
+// last delivered line — the consumer sees one contiguous stream.
 func (b *RemoteBackend) Sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
+	if b.retry.MaxAttempts <= 1 {
+		return b.sampleOnce(ctx, req, emit)
+	}
+
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 1
+	}
+	cur := *req // private copy; only ResumeFrom is rewritten
+	cursor := req.ResumeFrom
+	track := func(ln wire.Line) error {
+		if err := emit(ln); err != nil {
+			return err
+		}
+		// Advance the resume cursor past delivered samples. Cursor is
+		// authoritative when stamped; fall back to Index+1 for sample
+		// lines from a daemon predating cursors.
+		if c := ln.Cursor; c > cursor {
+			cursor = c
+		} else if ln.Error == "" && ln.Index+1 > cursor {
+			cursor = ln.Index + 1
+		}
+		return nil
+	}
+	for attempt := 1; ; attempt++ {
+		before := cursor
+		err := b.sampleOnce(ctx, &cur, track)
+		if err == nil {
+			return nil
+		}
+		var be *BackendError
+		midCut := errors.As(err, &be) && be.Op == "stream"
+		switch {
+		case midCut && b.retry.Resume:
+			if cursor >= samples {
+				// The cut landed between the last sample line and EOF:
+				// everything was delivered, so the stream is complete.
+				return nil
+			}
+			cur.ResumeFrom = cursor
+			// A cut that made progress refreshes the attempt budget:
+			// the bound is on consecutive fruitless attempts, not on
+			// how many times a long stream may fail over.
+			if cursor > before {
+				attempt = 1
+			}
+		case Retryable(err):
+			// Pre-stream failure (refused dial, overload): the attempt
+			// delivered nothing, so re-issuing cur — which already
+			// carries any resume progress — is invisible to the
+			// consumer.
+		default:
+			return err
+		}
+		if attempt >= b.retry.MaxAttempts {
+			return err
+		}
+		if serr := b.retry.sleep(ctx, attempt); serr != nil {
+			return err
+		}
+	}
+}
+
+func (b *RemoteBackend) sampleOnce(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return &RequestError{Field: "body", Reason: err.Error()}
+	}
+	if f := faultinject.Lookup(faultinject.RemoteRequest); f != nil {
+		if f.Mode == faultinject.Stall && f.Spend() {
+			faultinject.Sleep(ctx, f.Delay)
+		}
+		if f.Fail() {
+			return &BackendError{Backend: b.base, Op: "request",
+				Err: errors.New("faultinject: connection refused")}
+		}
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/sample", bytes.NewReader(body))
 	if err != nil {

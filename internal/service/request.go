@@ -87,6 +87,14 @@ type Request struct {
 	SwapsPerEdge float64
 	Timeout      time.Duration
 
+	// ResumeFrom starts the stream at this sample index instead of 0:
+	// the engine is fast-forwarded to the canonical position of sample
+	// ResumeFrom (burn-in + ResumeFrom·thinning supersteps from the
+	// compiled target), so the response is bit-identical to the suffix
+	// of the uninterrupted stream. It does not change the engine-pool
+	// key — a resumed stream is the same chain.
+	ResumeFrom int
+
 	// Connected and ForbiddenEdges map to gesmc.WithConstraint on the
 	// compiled sampler: every streamed sample is connected and avoids
 	// the forbidden pairs. A target outside the constrained space
@@ -109,6 +117,7 @@ func FromWire(wr *wire.SampleRequest) (*Request, error) {
 		BurnIn:         wr.BurnIn,
 		Thinning:       wr.Thinning,
 		SwapsPerEdge:   wr.SwapsPerEdge,
+		ResumeFrom:     wr.ResumeFrom,
 		nodes:          wr.Nodes,
 		Connected:      wr.Connected,
 		ForbiddenEdges: wr.ForbiddenEdges,
@@ -199,6 +208,13 @@ func (r *Request) Validate() error {
 	}
 	if r.SwapsPerEdge < 0 || math.IsInf(r.SwapsPerEdge, 0) || math.IsNaN(r.SwapsPerEdge) {
 		return &RequestError{Field: "swaps_per_edge", Reason: "must be finite and non-negative"}
+	}
+	if r.ResumeFrom < 0 {
+		return &RequestError{Field: "resume_from", Reason: "must be non-negative"}
+	}
+	if r.ResumeFrom >= r.Samples {
+		return &RequestError{Field: "resume_from",
+			Reason: fmt.Sprintf("resume point %d at or past ensemble size %d", r.ResumeFrom, r.Samples)}
 	}
 	for i, d := range r.degrees {
 		if d < 0 {

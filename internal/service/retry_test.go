@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gesmc/internal/faultinject"
+	"gesmc/wire"
+)
+
+// testPolicy keeps retry tests fast.
+func testPolicy(resume bool) RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Resume: resume}
+}
+
+// TestRetryableClassification pins the retry taxonomy: transient
+// transport and backpressure failures retry; the caller's own
+// cancellation, deterministic rejections, and streams already
+// terminated in-band never do.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"dial refused", &BackendError{Backend: "x", Op: "request", Err: errors.New("connection refused")}, true},
+		{"overloaded", &remoteError{msg: "q full", sentinel: ErrOverloaded}, true},
+		{"shutting down", &remoteError{msg: "draining", sentinel: ErrShuttingDown}, true},
+		{"bad request", &RequestError{Field: "degrees", Reason: "odd sum"}, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"in-band terminator", &StreamError{Line: wire.Line{Error: "x", Code: "backend"}}, false},
+		{"mid-body cut", &BackendError{Backend: "x", Op: "stream", Err: errors.New("unexpected EOF")}, false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("%s: Retryable=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRemoteBackendRetriesRefusedDial: a transient connection refusal
+// (injected at the transport fault point) is retried and the stream
+// completes as if nothing happened.
+func TestRemoteBackendRetriesRefusedDial(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	faultinject.Enable(faultinject.Fault{Point: faultinject.RemoteRequest, Mode: faultinject.Deny, Hits: 1})
+	defer faultinject.Reset()
+
+	rb := NewRemoteBackend(ts.URL, nil).WithRetry(testPolicy(false))
+	req := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 2, Seed: 9}
+	lines, err := collect(rb, req)
+	if err != nil {
+		t.Fatalf("retried stream err=%v", err)
+	}
+	if len(lines) != 2 || lines[0].Error != "" {
+		t.Fatalf("lines after retry: %+v", lines)
+	}
+}
+
+// TestRemoteBackendRetries503Burst: a one-shot 503 burst at the
+// daemon's admission fault point is absorbed by the retry policy.
+func TestRemoteBackendRetries503Burst(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	faultinject.Enable(faultinject.Fault{Point: faultinject.ServerSample, Mode: faultinject.Deny, Status: 503, Hits: 1})
+	defer faultinject.Reset()
+
+	rb := NewRemoteBackend(ts.URL, nil).WithRetry(testPolicy(false))
+	req := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 2, Seed: 9}
+	lines, err := collect(rb, req)
+	if err != nil {
+		t.Fatalf("retried stream err=%v", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+// TestRemoteBackendResumesMidStreamCut: with Resume enabled, a stream
+// cut mid-body is re-issued from the cursor of the last delivered line
+// and the spliced stream is bit-identical to an uninterrupted one.
+func TestRemoteBackendResumesMidStreamCut(t *testing.T) {
+	req := &wire.SampleRequest{Degrees: []int{4, 3, 3, 2, 2, 2, 1, 1}, Samples: 5, Seed: 7}
+	full := coldStream(t, req)
+
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	faultinject.Enable(faultinject.Fault{Point: faultinject.ServerStream, Mode: faultinject.Cut, AfterLines: 2, Hits: 1})
+	defer faultinject.Reset()
+
+	rb := NewRemoteBackend(ts.URL, nil).WithRetry(testPolicy(true))
+	lines, err := collect(rb, req)
+	if err != nil {
+		t.Fatalf("spliced stream err=%v", err)
+	}
+	if err := sameSamples(lines, full); err != nil {
+		t.Fatalf("spliced stream is not the canonical ensemble: %v", err)
+	}
+}
+
+// TestRemoteBackendMidStreamCutNotResumedByDefault: without Resume the
+// cut stays a terminal ErrBackend — re-issuing would replay delivered
+// lines.
+func TestRemoteBackendMidStreamCutNotResumedByDefault(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	faultinject.Enable(faultinject.Fault{Point: faultinject.ServerStream, Mode: faultinject.Cut, AfterLines: 2, Hits: 1})
+	defer faultinject.Reset()
+
+	rb := NewRemoteBackend(ts.URL, nil).WithRetry(testPolicy(false))
+	req := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 5, Seed: 9}
+	lines, err := collect(rb, req)
+	if !errors.Is(err, ErrBackend) {
+		t.Fatalf("err=%v, want ErrBackend", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines delivered before the cut", len(lines))
+	}
+}
+
+// TestRemoteBackendNeverRetriesTerminal: a 400 is issued exactly once
+// regardless of the retry policy, and a pre-cancelled context is never
+// sent at all.
+func TestRemoteBackendNeverRetriesTerminal(t *testing.T) {
+	var calls atomic.Int32
+	ts := fakeDaemon(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(wire.Error{Error: "no", Code: "bad_request"})
+	})
+	defer ts.Close()
+
+	rb := NewRemoteBackend(ts.URL, nil).WithRetry(testPolicy(true))
+	req := &wire.SampleRequest{Degrees: []int{2, 1, 1}, Samples: 1, Seed: 1}
+	if _, err := collect(rb, req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err=%v, want ErrBadRequest", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("400 request issued %d times, want 1", n)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := rb.Sample(ctx, req, func(wire.Line) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("cancelled request reached the backend (%d calls)", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 
+	"gesmc/internal/faultinject"
 	"gesmc/wire"
 )
 
@@ -33,6 +34,15 @@ func NewBackendHandler(b Backend) http.Handler {
 		handleSample(b, w, r)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if f := faultinject.Lookup(faultinject.ServerHealth); f != nil {
+			if f.Mode == faultinject.Stall && f.Spend() {
+				faultinject.Sleep(r.Context(), f.Delay)
+			}
+			if f.Fail() {
+				writeJSON(w, f.DenyStatus(), wire.Error{Error: "faultinject: health denied", Code: "internal"})
+				return
+			}
+		}
 		h, err := b.Health(r.Context())
 		if err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, wire.Error{Error: err.Error(), Code: errCode(err)})
@@ -79,7 +89,25 @@ func statusFor(err error) int {
 	}
 }
 
+// errInjectedCut is the sentinel an armed ServerStream Cut fault
+// returns from the emit callback. It must travel back through
+// Backend.Sample rather than panic inside emit: the Backend owns a
+// producer goroutine and a pooled engine, and only its own return path
+// tears those down safely. handleSample converts the sentinel into a
+// connection abort once the Backend has cleaned up.
+var errInjectedCut = errors.New("faultinject: stream cut")
+
 func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
+	if f := faultinject.Lookup(faultinject.ServerSample); f != nil {
+		if f.Mode == faultinject.Stall && f.Spend() {
+			faultinject.Sleep(r.Context(), f.Delay)
+		}
+		if f.Fail() {
+			writeJSON(w, f.DenyStatus(), wire.Error{Error: "faultinject: sample denied", Code: "overloaded"})
+			return
+		}
+	}
+
 	var wreq wire.SampleRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(&wreq); err != nil {
@@ -92,10 +120,15 @@ func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
 	// get a proper status code. After the first line the status is
 	// committed and terminal errors travel in-band as error lines
 	// (the Backend emits them).
+	cut := faultinject.Lookup(faultinject.ServerStream)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	streaming := false
+	written := 0
 	err := b.Sample(r.Context(), &wreq, func(ln wire.Line) error {
+		if cut != nil && cut.Mode == faultinject.Cut && written >= cut.AfterLines && cut.Spend() {
+			return errInjectedCut
+		}
 		if !streaming {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
@@ -107,8 +140,15 @@ func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		written++
 		return nil
 	})
+	if errors.Is(err, errInjectedCut) {
+		// The Backend has drained its producer and returned its engine;
+		// now sever the connection without a clean EOF — the wire image
+		// of a daemon killed mid-stream.
+		panic(http.ErrAbortHandler)
+	}
 	if err != nil && !streaming {
 		writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
 	}

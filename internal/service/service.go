@@ -171,6 +171,22 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 	// compilation entirely.
 	key := req.engineKey()
 	sampler, hit := s.pool.checkout(key)
+	if hit && req.ResumeFrom > 0 {
+		// A resumed stream must be the canonical chain suffix, so the
+		// pooled engine has to fast-forward to the resume point. A
+		// chain that already overshot it (it served a longer stream)
+		// cannot rewind — return it and compile a fresh chain below.
+		if _, err := sampler.FastForwardTo(ctx, req.ResumeFrom); err != nil {
+			s.pool.checkin(key, sampler)
+			if !errors.Is(err, gesmc.ErrResumeBehind) {
+				// Cancellation mid-fast-forward: the chain stopped at a
+				// superstep boundary and stays poolable.
+				s.met.requestsFailed.Add(1)
+				return err
+			}
+			sampler, hit = nil, false
+		}
+	}
 	if !hit {
 		target, err := req.buildTarget()
 		if err != nil {
@@ -181,6 +197,15 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		if err != nil {
 			s.met.requestsFailed.Add(1)
 			return &RequestError{Field: "options", Reason: err.Error()}
+		}
+		if req.ResumeFrom > 0 {
+			// Fresh chain: burn-in + ResumeFrom·thinning supersteps
+			// reconstruct the stream position deterministically.
+			if _, err := sampler.FastForwardTo(ctx, req.ResumeFrom); err != nil {
+				s.pool.checkin(key, sampler)
+				s.met.requestsFailed.Add(1)
+				return err
+			}
 		}
 	}
 	defer s.pool.checkin(key, sampler)
@@ -194,7 +219,8 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 	defer cancel()
 	var terminal error
 	delivered := 0
-	for smp := range sampler.Ensemble(cctx, req.Samples) {
+	resume := req.ResumeFrom
+	for smp := range sampler.Ensemble(cctx, req.Samples-resume) {
 		if terminal != nil {
 			continue // draining after a terminal error
 		}
@@ -202,14 +228,21 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 			terminal = smp.Err
 			// In-band error marker, but only mid-stream: a failure
 			// before the first sample surfaces as the return error, so
-			// the HTTP layer can still send a real status code.
+			// the HTTP layer can still send a real status code. Cursor
+			// carries the index of the sample that failed — resuming
+			// there retries it.
 			if delivered > 0 {
-				emit(wire.Line{Index: smp.Index, Error: smp.Err.Error(), Code: errCode(smp.Err)})
+				idx := smp.Index + resume
+				emit(wire.Line{Index: idx, Cursor: idx, Error: smp.Err.Error(), Code: errCode(smp.Err)})
 			}
 			continue
 		}
 		s.met.observeSample(smp.Stats.Supersteps, smp.Stats.Attempted)
 		ln := wire.FromSample(smp)
+		// Index is absolute within the requested ensemble; a resumed
+		// stream numbers its lines as the suffix of the original.
+		ln.Index += resume
+		ln.Cursor = ln.Index + 1
 		if s.cfg.ID != "" && ln.Stats != nil {
 			ln.Stats.Backend = s.cfg.ID
 		}

@@ -276,6 +276,48 @@ func (s *Sampler) SampleContext(ctx context.Context) (Stats, error) {
 	return st, nil
 }
 
+// Burned reports whether the burn-in interval has been paid: the next
+// Sample call advances the thinning interval rather than the burn-in.
+// Pooling layers use it together with Supersteps to decide whether a
+// cached chain can still fast-forward to a resume point.
+func (s *Sampler) Burned() bool { return s.burned }
+
+// FastForwardTo advances the chain so that the next Sample call emits
+// the canonical ensemble draw with the given index — the chain state
+// after burnIn + index·thinning supersteps from the compiled target,
+// exactly the state an uninterrupted Ensemble run reaches for its
+// index-th sample (superstep advancement is split-invariant, see
+// TestEngineSplitStepsMatchOneShot). This is the resume primitive of
+// the serving layer: a stream broken after index samples is continued
+// bit-identically by fast-forwarding a fresh sampler with the same
+// (target, options, seed) and drawing the remaining samples.
+//
+// The chain only runs forward: if it has already advanced past the
+// required position (a pooled sampler that served a longer stream),
+// FastForwardTo returns ErrResumeBehind and the chain is unchanged.
+// On context cancellation the chain stops at a superstep boundary and
+// remains valid. The returned Stats cover the supersteps advanced by
+// the fast-forward itself.
+func (s *Sampler) FastForwardTo(ctx context.Context, index int) (Stats, error) {
+	if s.closed {
+		return Stats{}, ErrClosed
+	}
+	if index < 0 {
+		return Stats{}, fmt.Errorf("%w: got %d", ErrInvalidCount, index)
+	}
+	// Position the chain so the next advance (burn-in if unburned,
+	// thinning if burned) lands exactly on burnIn + index·thinning.
+	pos := index * s.thin
+	if s.burned {
+		pos += s.burnIn - s.thin
+	}
+	if pos < s.steps {
+		return Stats{}, fmt.Errorf("%w: chain at superstep %d, resume point needs %d",
+			ErrResumeBehind, s.steps, pos)
+	}
+	return s.advance(ctx, pos-s.steps)
+}
+
 // Ensemble streams count thinned samples as deep copies over a channel,
 // the null-model workload: one engine compilation, one burn-in, then a
 // sample every thinning interval. The channel closes after the last

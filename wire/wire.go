@@ -68,6 +68,16 @@ type SampleRequest struct {
 	// means no deadline beyond the server's own limits.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 
+	// ResumeFrom resumes the stream at this sample index: the response
+	// carries lines ResumeFrom..Samples-1, bit-identical to the suffix
+	// of the uninterrupted stream (given a seed, the whole stream is
+	// deterministic in the request alone, so any backend can
+	// reconstruct it by fast-forwarding a chain). Clients set it to
+	// the Cursor of the last line they received to continue a broken
+	// stream; the cluster coordinator sets it when failing a dying
+	// backend's stream over to another shard. Must be < Samples.
+	ResumeFrom int `json:"resume_from,omitempty"`
+
 	// Connected constrains every sample to be connected (weakly
 	// connected for directed targets); the realized target must be
 	// connected or the request fails with 400. ForbiddenEdges
@@ -121,6 +131,12 @@ func FromStats(st gesmc.Stats) Stats {
 type Line struct {
 	// Index is the sample's position in the ensemble, from 0.
 	Index int `json:"index"`
+	// Cursor is the resume point after this line: re-issue the request
+	// with ResumeFrom = Cursor to continue the stream from the next
+	// line. A sample line carries Index+1; an error line carries Index
+	// (the failed sample is the one to retry). Zero on streams served
+	// by pre-cursor backends.
+	Cursor int `json:"cursor,omitempty"`
 	// Nodes is the node count of the sampled graph.
 	Nodes int `json:"nodes,omitempty"`
 	// Directed marks Edges as (tail, head) arcs.
@@ -216,6 +232,10 @@ type ShardMetrics struct {
 	ID    string `json:"id"`
 	URL   string `json:"url"`
 	Alive bool   `json:"alive"`
+	// Breaker is the shard's circuit-breaker state: "closed" (serving),
+	// "open" (tripped by consecutive failures, excluded from routing),
+	// or "half_open" (cooled down, awaiting probe re-admission).
+	Breaker string `json:"breaker,omitempty"`
 	// Inflight is the number of requests this coordinator is currently
 	// streaming through the shard; Requests counts attempts routed to
 	// it (including failed ones), Errors the attempts that failed.
@@ -235,10 +255,14 @@ type ClusterMetrics struct {
 	RoutedOwner   int64 `json:"routed_owner"`
 	RoutedReplica int64 `json:"routed_replica"`
 	RoutedSpill   int64 `json:"routed_spill"`
-	// MidstreamFailures counts streams that died after the first line
-	// and were terminated with an in-band error line (no failover is
-	// possible once lines have been delivered).
-	MidstreamFailures int64 `json:"midstream_failures"`
+	// MidstreamFailovers counts post-first-line backend failures that
+	// were transparently failed over: the stream was re-issued to
+	// another shard with ResumeFrom set to the delivered prefix, and
+	// the client never saw an error line. MidstreamFailures counts the
+	// streams whose failover attempts exhausted and were terminated
+	// with an honest in-band error line.
+	MidstreamFailovers int64 `json:"midstream_failovers"`
+	MidstreamFailures  int64 `json:"midstream_failures"`
 	// Evictions counts alive→dead shard transitions (health-check
 	// failures and transport errors); Revivals the dead→alive ones.
 	Evictions int64 `json:"evictions"`
