@@ -16,6 +16,14 @@
 //	gesmc -in graph.txt -connected -samples 50 -format ndjson -stats
 //	cat graph.txt | gesmc -in - -samples 5 -format ndjson | jq .stats.attempted
 //	gesmc -in graph.txt -samples 20 -server 127.0.0.1:8742 -format ndjson
+//	gesmc -in graph.txt -uniformity exact -samples 100 -format ndjson
+//
+// With -uniformity exact, samples are exactly uniform i.i.d. draws
+// (the rejection tier, undirected bounded-degree targets only) instead
+// of Markov-chain states: -swaps/-supersteps/-thinning/-connected do
+// not apply, and a degree sequence outside the tractable regime exits
+// with code 2 and a message naming the -uniformity mcmc fallback —
+// the CLI never reroutes silently.
 //
 // With -server URL, sampling runs on a gesmcd daemon (or cluster
 // coordinator) instead of in-process: the loaded target ships as an
@@ -52,7 +60,7 @@ func main() {
 		genSpec   = flag.String("gen", "", "generate input: gnp:n=..,p=.. | pld:n=..,gamma=.. | reg:n=..,d=.. | grid:r=..,c=..")
 		outPath   = flag.String("out", "", "write result to file ('-' for stdout); with -samples > 1 and -format edgelist, a pattern containing %d")
 		format    = flag.String("format", "edgelist", "output format: edgelist | ndjson (one wire.Line per sample)")
-		algoName  = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball")
+		algoName  = flag.String("algo", "ParGlobalES", "algorithm: SeqES|SeqGlobalES|NaiveParES|ParES|ParGlobalES|AdjListES|AdjSortES|Curveball|GlobalCurveball|Exact")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers P")
 		swaps     = flag.Float64("swaps", 10, "switch attempts per edge (burn-in)")
 		steps     = flag.Int("supersteps", 0, "explicit burn-in superstep count (overrides -swaps)")
@@ -65,11 +73,41 @@ func main() {
 		connected = flag.Bool("connected", false, "constrain sampling to connected graphs (the input must be connected)")
 		server    = flag.String("server", "", "forward sampling to a gesmcd daemon or coordinator at this URL instead of sampling in-process")
 		retries   = flag.Int("retries", 2, "with -server: retries for transient failures (0 disables); a stream cut mid-way resumes from the last delivered sample")
+
+		uniformity = flag.String("uniformity", "mcmc", "sampling tier: mcmc (asymptotically uniform chains) | exact (exactly uniform i.i.d. draws; undirected bounded-degree targets)")
 	)
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	if *format != "edgelist" && *format != "ndjson" {
 		fatal(fmt.Errorf("unknown -format %q (want edgelist or ndjson)", *format))
+	}
+	// -algo Exact and -uniformity exact are the same request; normalize
+	// to one path so both spellings get the same validation.
+	if *algoName == "Exact" {
+		*uniformity = "exact"
+	}
+	switch *uniformity {
+	case "mcmc":
+	case "exact":
+		if explicit["algo"] && *algoName != "Exact" {
+			fatal(fmt.Errorf("-uniformity exact contradicts -algo %s", *algoName))
+		}
+		*algoName = "Exact"
+		// Exact draws are i.i.d.: a chain schedule on the command line
+		// is a misdirected MCMC invocation, not something to ignore.
+		for _, name := range []string{"swaps", "supersteps", "thinning"} {
+			if explicit[name] {
+				fatal(fmt.Errorf("-%s does not apply to -uniformity exact (draws are i.i.d.)", name))
+			}
+		}
+		if *connected {
+			fatal(fmt.Errorf("-connected is not supported by -uniformity exact; use the MCMC tier"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -uniformity %q (want exact or mcmc)", *uniformity))
 	}
 	target, err := loadTarget(*inPath, *genSpec, *seed, *directed)
 	if err != nil {
@@ -81,7 +119,7 @@ func main() {
 	}
 
 	if *server != "" {
-		req := remoteRequest(target, *algoName, max(*workers, 1), *seed, *samples, *steps, *thinning, *swaps, *connected)
+		req := remoteRequest(target, *algoName, *uniformity, max(*workers, 1), *seed, *samples, *steps, *thinning, *swaps, *connected)
 		if err := runRemote(*server, req, *format, *outPath, *stats, *retries); err != nil {
 			fmt.Fprintln(os.Stderr, "gesmc:", err)
 			os.Exit(exitCode(err))
@@ -94,7 +132,9 @@ func main() {
 		gesmc.WithWorkers(max(*workers, 1)),
 		gesmc.WithSeed(*seed),
 		gesmc.WithPrefetch(*prefetch),
-		gesmc.WithSwapsPerEdge(*swaps),
+	}
+	if *uniformity != "exact" {
+		opts = append(opts, gesmc.WithSwapsPerEdge(*swaps))
 	}
 	if *steps > 0 {
 		opts = append(opts, gesmc.WithBurnIn(*steps))
@@ -199,7 +239,7 @@ func main() {
 // into the wire request a daemon executes. The target always ships as
 // an explicit edge (or arc) list: that is the one spec every loaded or
 // generated input reduces to.
-func remoteRequest(target gesmc.Target, algo string, workers int, seed uint64,
+func remoteRequest(target gesmc.Target, algo, uniformity string, workers int, seed uint64,
 	samples, burnIn, thinning int, swaps float64, connected bool) *wire.SampleRequest {
 	req := &wire.SampleRequest{
 		Algorithm:    algo,
@@ -214,6 +254,13 @@ func remoteRequest(target gesmc.Target, algo string, workers int, seed uint64,
 		// -supersteps overrides -swaps, exactly like the local path.
 		req.BurnIn = burnIn
 		req.SwapsPerEdge = 0
+	}
+	if uniformity == "exact" {
+		// The exact tier rejects chain schedules; the remaining
+		// nonzero values here are CLI defaults, not user choices
+		// (explicit ones were refused before dialing out).
+		req.Uniformity = "exact"
+		req.BurnIn, req.Thinning, req.SwapsPerEdge = 0, 0, 0
 	}
 	switch t := target.(type) {
 	case *gesmc.Graph:
@@ -290,6 +337,9 @@ func printWireStats(st *wire.Stats) {
 		"algorithm=%s supersteps=%d attempted=%d accepted=%d acceptance=%.3f time=%v",
 		st.Algorithm, st.Supersteps, st.Attempted, st.Accepted,
 		float64(st.Accepted)/float64(st.Attempted), time.Duration(st.DurationNS))
+	if st.Uniformity != "" {
+		fmt.Fprintf(os.Stderr, " uniformity=%s", st.Uniformity)
+	}
 	if st.Backend != "" {
 		fmt.Fprintf(os.Stderr, " backend=%s", st.Backend)
 	}
@@ -321,6 +371,10 @@ func printStats(st gesmc.Stats) {
 	if st.ConstraintVetoes > 0 || st.EscapeAttempts > 0 {
 		fmt.Fprintf(os.Stderr, " constraint(vetoed=%d escapes=%d/%d)",
 			st.ConstraintVetoes, st.EscapeMoves, st.EscapeAttempts)
+	}
+	if st.Algorithm == gesmc.Exact.String() {
+		fmt.Fprintf(os.Stderr, " exact(restarts=%d loops=%d multis=%d)",
+			st.Restarts, st.LoopDefects, st.MultiDefects)
 	}
 	fmt.Fprintln(os.Stderr)
 }
@@ -463,7 +517,15 @@ func printMetrics(label string, g *gesmc.Graph) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gesmc:", err)
+	// Library errors already carry the "gesmc: " prefix; don't stutter.
+	msg := strings.TrimPrefix(err.Error(), "gesmc: ")
+	if errors.Is(err, gesmc.ErrExactUnsupported) {
+		// bad_request family, same as the server's 400: the request
+		// must change, and the fallback is named rather than taken.
+		fmt.Fprintln(os.Stderr, "gesmc:", msg, "— retry with -uniformity mcmc for an asymptotically uniform chain")
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "gesmc:", msg)
 	os.Exit(1)
 }
 
@@ -487,7 +549,7 @@ func exitCode(err error) int {
 		}
 	}
 	switch {
-	case errors.Is(err, service.ErrBadRequest):
+	case errors.Is(err, service.ErrBadRequest), errors.Is(err, gesmc.ErrExactUnsupported):
 		return 2
 	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrShuttingDown):
 		return 4

@@ -77,7 +77,7 @@ func TestLoadTargetFromFile(t *testing.T) {
 // (-supersteps overrides -swaps, directed targets ship arcs).
 func TestRemoteRequestShape(t *testing.T) {
 	g := gesmc.GenerateGrid(2, 3)
-	req := remoteRequest(g, "ParGlobalES", 2, 7, 4, 0, 3, 10, false)
+	req := remoteRequest(g, "ParGlobalES", "mcmc", 2, 7, 4, 0, 3, 10, false)
 	if req.Nodes != g.N() || len(req.Edges) != g.M() || req.Directed {
 		t.Fatalf("undirected request: %+v", req)
 	}
@@ -85,23 +85,30 @@ func TestRemoteRequestShape(t *testing.T) {
 		t.Fatalf("flags lost: %+v", req)
 	}
 	// Explicit burn-in zeroes SwapsPerEdge, exactly like the local path.
-	req = remoteRequest(g, "SeqES", 1, 1, 1, 50, 0, 10, true)
+	req = remoteRequest(g, "SeqES", "mcmc", 1, 1, 1, 50, 0, 10, true)
 	if req.BurnIn != 50 || req.SwapsPerEdge != 0 || !req.Connected {
 		t.Fatalf("burn-in override: %+v", req)
+	}
+
+	// -uniformity exact ships the uniformity field and strips the chain
+	// schedule (the CLI defaults would otherwise read as a schedule).
+	req = remoteRequest(g, "Exact", "exact", 1, 7, 4, 0, 3, 10, false)
+	if req.Uniformity != "exact" || req.BurnIn != 0 || req.Thinning != 0 || req.SwapsPerEdge != 0 {
+		t.Fatalf("exact request shape: %+v", req)
 	}
 
 	dg, err := gesmc.NewDiGraph(3, [][2]uint32{{0, 1}, {1, 2}, {2, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	req = remoteRequest(dg, "AdjListES", 1, 1, 1, 0, 0, 10, false)
+	req = remoteRequest(dg, "AdjListES", "mcmc", 1, 1, 1, 0, 0, 10, false)
 	if !req.Directed || req.Nodes != 3 || len(req.Edges) != 3 {
 		t.Fatalf("directed request: %+v", req)
 	}
 
 	// The shipped request round-trips through request validation: a
 	// daemon accepts what the CLI sends.
-	if _, err := service.PoolKey(remoteRequest(g, "ParGlobalES", 2, 7, 4, 0, 0, 10, false)); err != nil {
+	if _, err := service.PoolKey(remoteRequest(g, "ParGlobalES", "mcmc", 2, 7, 4, 0, 0, 10, false)); err != nil {
 		t.Fatalf("daemon rejects CLI request: %v", err)
 	}
 }
@@ -117,7 +124,7 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 	defer ts.Close()
 
 	g := gesmc.GenerateGrid(3, 3)
-	req := remoteRequest(g, "ParGlobalES", 2, 7, 3, 0, 0, 10, false)
+	req := remoteRequest(g, "ParGlobalES", "mcmc", 2, 7, 3, 0, 0, 10, false)
 
 	// NDJSON sink: one line per sample, backend identity stamped.
 	dir := t.TempDir()
@@ -191,7 +198,7 @@ func TestRunRemoteAgainstDaemon(t *testing.T) {
 		t.Fatal("multi-sample edgelist without an index pattern accepted")
 	}
 	// A server-side rejection surfaces as an error, not a silent exit.
-	bad := remoteRequest(g, "ParGlobalES", 1, 1, 1, 0, 0, 10, false)
+	bad := remoteRequest(g, "ParGlobalES", "mcmc", 1, 1, 1, 0, 0, 10, false)
 	bad.Degrees = []int{3, 1} // conflicting specs → 400
 	if err := runRemote(ts.URL, bad, "ndjson", filepath.Join(dir, "bad.ndjson"), false, 2); err == nil {
 		t.Fatal("invalid request accepted")

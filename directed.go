@@ -29,6 +29,21 @@ func NewDiGraph(n int, arcs [][2]uint32) (*DiGraph, error) {
 	return &DiGraph{g: g}, nil
 }
 
+// IsDigraphical reports whether a simple directed graph with the given
+// out-/in-degree bi-sequence exists (Fulkerson–Chen–Anstee test, the
+// directed companion of IsGraphical). Mismatched lengths,
+// out-of-range degrees, or unequal sums report false.
+func IsDigraphical(out, in []int) bool {
+	return digraph.IsDigraphical(out, in)
+}
+
+// IsBigraphical reports whether a bipartite graph with the given
+// degree sequences on the two sides exists (Gale–Ryser test, the
+// bipartite companion of IsGraphical).
+func IsBigraphical(left, right []int) bool {
+	return digraph.IsBigraphical(left, right)
+}
+
 // FromInOutDegrees realizes a digraph with the prescribed out- and
 // in-degree sequences (Kleitman-Wang), or fails if the bi-sequence is
 // not digraphical.

@@ -37,6 +37,7 @@
 //	AdjSortES        ES-MC     undirected           no        Gengraph-style ablation
 //	Curveball        trades    undirected           exact     batched disjoint trades
 //	GlobalCurveball  trades    undirected           exact     superstep global trades
+//	Exact            i.i.d.    undirected           no        provably uniform rejection sampler
 //
 // "Exact" parallel chains are bit-identical to their sequential
 // references: given the same switch (or trade) sequence they produce
@@ -90,6 +91,19 @@
 // Stats reports ConstraintVetoes and the escape counters.
 // Connectivity metrics back the same workload: Graph.IsConnected,
 // Graph.LargestComponent, and their DiGraph counterparts.
+//
+// The Exact algorithm is not a Markov chain at all: it draws
+// independent, provably uniform realizations of the target's degree
+// sequence by pairing-model generation with rejection (DESIGN.md §14).
+// Burn-in and thinning do not apply — passing WithBurnIn, WithThinning,
+// or WithSwapsPerEdge returns ErrExactSchedule — and constraints are
+// unsupported. Exactness is paid for in acceptance rate, so the tier
+// gates on the regime λ+λ² ≤ 6 (λ = Σd(d-1)/(2Σd)) and returns
+// ErrExactUnsupported beyond it; callers fall back to an MCMC chain
+// explicitly. Stats reports the rejection ledger (Restarts,
+// LoopDefects, MultiDefects). Over the wire, requests select the tier
+// with "uniformity": "exact", and every streamed line's stats block
+// is labeled with the tier that produced it.
 //
 // Functional options (WithAlgorithm, WithWorkers, WithSeed,
 // WithThinning, WithBurnIn, WithLoopProb, WithConstraint,

@@ -65,4 +65,16 @@ var (
 	// edge, misses a protected edge, or is disconnected under
 	// Connected(). The chain must start inside the space it samples.
 	ErrConstraintViolated = errors.New("gesmc: target violates constraint")
+	// ErrExactUnsupported is returned by NewSampler with Algorithm
+	// Exact when the target's degree sequence lies outside the exact
+	// tier's tractable rejection regime (λ+λ² too large; see DESIGN.md
+	// §14). The sampler never falls back to MCMC silently — callers
+	// choose the degradation by retrying with an MCMC algorithm.
+	ErrExactUnsupported = errors.New("gesmc: degree sequence outside the exact sampler's tractable regime")
+	// ErrExactSchedule is returned when WithBurnIn, WithThinning, or
+	// WithSwapsPerEdge is combined with Algorithm Exact: exact draws
+	// are i.i.d., so a chain schedule has nothing to schedule and a
+	// request carrying one is almost certainly a misdirected MCMC
+	// request.
+	ErrExactSchedule = errors.New("gesmc: exact draws are i.i.d.; burn-in/thinning/swaps-per-edge do not apply")
 )

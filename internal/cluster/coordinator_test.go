@@ -135,6 +135,42 @@ func TestDifferentialAcrossTiers(t *testing.T) {
 	}
 }
 
+// TestExactDifferentialAcrossTiers extends the acceptance gate to the
+// exact-uniformity tier: a seeded uniformity:"exact" request served
+// in-process, through one remote gesmcd, and through a coordinator
+// yields bit-identical sample lines, and every line is labeled with
+// the tier that served it.
+func TestExactDifferentialAcrossTiers(t *testing.T) {
+	req := &wire.SampleRequest{Degrees: []int{3, 3, 3, 3, 3, 3, 3, 3},
+		Uniformity: "exact", Samples: 5, Seed: 23}
+
+	svc := service.New(service.Config{WorkerBudget: 4})
+	defer svc.Shutdown(context.Background())
+	local := collect(t, service.NewLocalBackend(svc), req)
+
+	remote := collect(t, service.NewRemoteBackend(testShard(t, "solo").URL, nil), req)
+
+	coord := testCoordinator(t, Config{}, testShard(t, "a"), testShard(t, "b"))
+	viaCoord := collect(t, coord, req)
+
+	if payload(local) != payload(remote) {
+		t.Fatalf("exact local vs remote:\n%s\n%s", payload(local), payload(remote))
+	}
+	if payload(local) != payload(viaCoord) {
+		t.Fatalf("exact local vs coordinator:\n%s\n%s", payload(local), payload(viaCoord))
+	}
+	for _, lines := range [][]wire.Line{local, remote, viaCoord} {
+		if len(lines) != 5 {
+			t.Fatalf("%d lines, want 5", len(lines))
+		}
+		for _, ln := range lines {
+			if ln.Stats == nil || ln.Stats.Uniformity != "exact" || ln.Stats.Algorithm != "Exact" {
+				t.Fatalf("line not labeled as exact tier: %+v", ln.Stats)
+			}
+		}
+	}
+}
+
 // TestCoordinatorDeterministicRouting: placement is a pure function of
 // the pool key and the live shard set — two coordinators over the same
 // shard IDs agree on every request, and repeat requests stick to their

@@ -1,0 +1,170 @@
+package digraph
+
+import "sort"
+
+// This file holds the existence predicates companion to the
+// constructive realizations (KleitmanWang, BipartiteFromDegrees): the
+// Fulkerson–Chen–Anstee test for digraphical bi-sequences and the
+// Gale–Ryser test for bigraphical sequence pairs. The service layer
+// runs them before target compilation so a non-realizable request is
+// answered by an O(n log n) predicate instead of a failed O(n² log n)
+// construction.
+
+// fenwick is a pair of Fenwick trees over degree values, answering
+// "how many inserted values are ≤ t" and "what do they sum to" in
+// O(log n) — together Σ min(value, t) over the inserted multiset.
+type fenwick struct {
+	count []int64
+	sum   []int64
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{count: make([]int64, n+1), sum: make([]int64, n+1)}
+}
+
+// insert adds value v (0-based) to the multiset.
+func (f *fenwick) insert(v int) {
+	for i := v + 1; i < len(f.count); i += i & (-i) {
+		f.count[i]++
+		f.sum[i] += int64(v)
+	}
+}
+
+// le returns the count and sum of inserted values ≤ t.
+func (f *fenwick) le(t int) (count, sum int64) {
+	if t < 0 {
+		return 0, 0
+	}
+	if t >= len(f.count)-1 {
+		t = len(f.count) - 2
+	}
+	for i := t + 1; i > 0; i -= i & (-i) {
+		count += f.count[i]
+		sum += f.sum[i]
+	}
+	return count, sum
+}
+
+// minSum returns Σ min(value, t) over the inserted multiset of size
+// inserted.
+func (f *fenwick) minSum(t int, inserted int64) int64 {
+	count, sum := f.le(t)
+	return sum + int64(t)*(inserted-count)
+}
+
+// IsDigraphical reports whether a simple directed graph (no loops, no
+// parallel arcs) with the given out-/in-degree bi-sequence exists —
+// the Fulkerson–Chen–Anstee condition, the directed analogue of
+// Erdős–Gallai. Mismatched lengths, out-of-range degrees, or unequal
+// sums are not digraphical. O(n log n).
+func IsDigraphical(out, in []int) bool {
+	n := len(out)
+	if len(in) != n {
+		return false
+	}
+	var sumOut, sumIn int64
+	for v := 0; v < n; v++ {
+		if out[v] < 0 || in[v] < 0 || out[v] >= n || in[v] >= n {
+			return false
+		}
+		sumOut += int64(out[v])
+		sumIn += int64(in[v])
+	}
+	if sumOut != sumIn {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+
+	// Pairs in non-increasing lexicographic order of (out, in).
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		ix, iy := idx[x], idx[y]
+		if out[ix] != out[iy] {
+			return out[ix] > out[iy]
+		}
+		return in[ix] > in[iy]
+	})
+
+	// allB sorted ascending with prefix sums: Σ_j min(in_j, t) over
+	// the whole sequence in O(log n) per query.
+	allB := make([]int, n)
+	for i, j := range idx {
+		allB[i] = in[j]
+	}
+	sort.Ints(allB)
+	prefixB := make([]int64, n+1)
+	for i, b := range allB {
+		prefixB[i+1] = prefixB[i] + int64(b)
+	}
+	minSumAll := func(t int) int64 {
+		// First index with value > t.
+		i := sort.SearchInts(allB, t+1)
+		return prefixB[i] + int64(t)*int64(n-i)
+	}
+
+	// Check Σ_{i≤k} out_i ≤ Σ_{i≤k} min(in_i, k-1) + Σ_{i>k} min(in_i, k)
+	// for every k, growing a Fenwick multiset of the prefix's in-degrees.
+	prefix := newFenwick(n)
+	var lhs int64
+	for k := 1; k <= n; k++ {
+		j := idx[k-1]
+		lhs += int64(out[j])
+		prefix.insert(in[j])
+		rhs := prefix.minSum(k-1, int64(k)) + minSumAll(k) - prefix.minSum(k, int64(k))
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBigraphical reports whether a bipartite graph with the given
+// degree sequences on the two sides exists — the Gale–Ryser
+// condition. Out-of-range degrees (a left degree exceeding the right
+// side's size, or vice versa) or unequal sums are not bigraphical.
+// O((l+r) log r).
+func IsBigraphical(left, right []int) bool {
+	var sumL, sumR int64
+	for _, d := range left {
+		if d < 0 || d > len(right) {
+			return false
+		}
+		sumL += int64(d)
+	}
+	for _, d := range right {
+		if d < 0 || d > len(left) {
+			return false
+		}
+		sumR += int64(d)
+	}
+	if sumL != sumR {
+		return false
+	}
+
+	l := append([]int(nil), left...)
+	sort.Sort(sort.Reverse(sort.IntSlice(l)))
+	r := append([]int(nil), right...)
+	sort.Ints(r)
+	prefixR := make([]int64, len(r)+1)
+	for i, d := range r {
+		prefixR[i+1] = prefixR[i] + int64(d)
+	}
+
+	// Σ_{i≤k} left_i ≤ Σ_j min(right_j, k) for every prefix of the
+	// non-increasing left side.
+	var lhs int64
+	for k := 1; k <= len(l); k++ {
+		lhs += int64(l[k-1])
+		i := sort.SearchInts(r, k+1)
+		rhs := prefixR[i] + int64(k)*int64(len(r)-i)
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}

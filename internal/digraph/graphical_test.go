@@ -1,0 +1,170 @@
+package digraph
+
+import (
+	"testing"
+
+	"gesmc/internal/rng"
+)
+
+func TestIsDigraphicalKnownCases(t *testing.T) {
+	cases := []struct {
+		name string
+		out  []int
+		in   []int
+		want bool
+	}{
+		{"empty", nil, nil, true},
+		{"zeros", []int{0, 0}, []int{0, 0}, true},
+		{"2cycle", []int{1, 1}, []int{1, 1}, true},
+		{"k3-tournamentish", []int{2, 1, 0}, []int{0, 1, 2}, true},
+		{"length-mismatch", []int{1}, []int{1, 0}, false},
+		{"sum-mismatch", []int{1, 0}, []int{0, 0}, false},
+		{"degree-too-large", []int{2, 0}, []int{1, 1}, false},
+		{"negative", []int{-1, 1}, []int{0, 0}, false},
+		// Sum and range fine, but two nodes both need out-degree 2
+		// toward only one other high-in node: FCA prefix k=2 fails.
+		{"infeasible-concentration", []int{2, 2, 0}, []int{0, 1, 3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsDigraphical(tc.out, tc.in); got != tc.want {
+				t.Fatalf("IsDigraphical(%v, %v) = %v, want %v", tc.out, tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIsDigraphicalMatchesKleitmanWang cross-validates the FCA
+// predicate against the constructive realization on random
+// bi-sequences: the two must agree exactly (Kleitman-Wang succeeds
+// iff the bi-sequence is digraphical).
+func TestIsDigraphicalMatchesKleitmanWang(t *testing.T) {
+	r := rng.NewSplitMix64(2026)
+	agreeTrue, agreeFalse := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + r.IntN(9)
+		out := make([]int, n)
+		in := make([]int, n)
+		var diff int
+		for v := range out {
+			out[v] = r.IntN(n)
+			in[v] = r.IntN(n)
+			diff += out[v] - in[v]
+		}
+		// Half the trials get their sums balanced (mostly feasible),
+		// half stay as drawn (mostly infeasible), covering both sides.
+		if trial%2 == 0 {
+			for v := 0; diff != 0 && v < n; v++ {
+				adj := diff
+				if adj > 0 {
+					if take := min(adj, in[v]+(n-1-in[v])); take > 0 {
+						add := min(adj, n-1-in[v])
+						in[v] += add
+						diff -= add
+					}
+				} else if out[v] < n-1 {
+					add := min(-adj, n-1-out[v])
+					out[v] += add
+					diff += add
+				}
+			}
+		}
+		pred := IsDigraphical(out, in)
+		g, err := KleitmanWang(out, in)
+		if pred != (err == nil) {
+			t.Fatalf("trial %d: IsDigraphical(%v, %v) = %v but KleitmanWang err = %v",
+				trial, out, in, pred, err)
+		}
+		if pred {
+			agreeTrue++
+			gOut, gIn := g.Degrees()
+			for v := range out {
+				if gOut[v] != out[v] || gIn[v] != in[v] {
+					t.Fatalf("trial %d: realization degrees diverge at node %d", trial, v)
+				}
+			}
+		} else {
+			agreeFalse++
+		}
+	}
+	if agreeTrue == 0 || agreeFalse == 0 {
+		t.Fatalf("degenerate coverage: %d digraphical, %d not", agreeTrue, agreeFalse)
+	}
+}
+
+func TestIsBigraphicalKnownCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		left  []int
+		right []int
+		want  bool
+	}{
+		{"empty", nil, nil, true},
+		{"zeros", []int{0}, []int{0, 0}, true},
+		{"complete-2x3", []int{3, 3}, []int{2, 2, 2}, true},
+		{"sum-mismatch", []int{2}, []int{1}, false},
+		{"degree-exceeds-side", []int{3}, []int{1, 1, 1}, true},
+		{"degree-too-large", []int{4}, []int{2, 2}, false},
+		{"negative", []int{-1}, []int{1}, false},
+		// Gale-Ryser violation with matching sums: two left nodes of
+		// degree 2 cannot both attach to a right side concentrated on
+		// one node.
+		{"infeasible-concentration", []int{2, 2}, []int{3, 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsBigraphical(tc.left, tc.right); got != tc.want {
+				t.Fatalf("IsBigraphical(%v, %v) = %v, want %v", tc.left, tc.right, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIsBigraphicalMatchesConstruction cross-validates Gale-Ryser
+// against the constructive bipartite realization.
+func TestIsBigraphicalMatchesConstruction(t *testing.T) {
+	r := rng.NewSplitMix64(77)
+	agreeTrue, agreeFalse := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		nl := 1 + r.IntN(6)
+		nr := 1 + r.IntN(6)
+		left := make([]int, nl)
+		right := make([]int, nr)
+		sum := 0
+		for i := range left {
+			left[i] = r.IntN(nr + 1)
+			sum += left[i]
+		}
+		for i := range right {
+			right[i] = r.IntN(nl + 1)
+			sum -= right[i]
+		}
+		if trial%2 == 0 {
+			for i := 0; sum != 0 && i < nr; i++ {
+				if sum > 0 {
+					add := min(sum, nl-right[i])
+					right[i] += add
+					sum -= add
+				} else {
+					take := min(-sum, right[i])
+					right[i] -= take
+					sum += take
+				}
+			}
+		}
+		pred := IsBigraphical(left, right)
+		_, err := BipartiteFromDegrees(left, right)
+		if pred != (err == nil) {
+			t.Fatalf("trial %d: IsBigraphical(%v, %v) = %v but construction err = %v",
+				trial, left, right, pred, err)
+		}
+		if pred {
+			agreeTrue++
+		} else {
+			agreeFalse++
+		}
+	}
+	if agreeTrue == 0 || agreeFalse == 0 {
+		t.Fatalf("degenerate coverage: %d bigraphical, %d not", agreeTrue, agreeFalse)
+	}
+}

@@ -1,0 +1,108 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"gesmc/internal/graph"
+)
+
+// Enumerate lists every labeled simple graph realizing the degree
+// sequence, each as a sorted edge list — the exhaustive ground truth
+// the uniformity tests chi-square samplers against (sacorg-style).
+// It is meant for tiny sequences; limit bounds the number of
+// realizations (and so the work) and Enumerate fails once exceeded,
+// rather than silently truncating a "ground truth". limit <= 0 means
+// no bound.
+//
+// The recursion saturates the smallest node with residual degree: its
+// whole neighborhood is chosen as one subset of the still-unsaturated
+// nodes, so each realization is produced exactly once (a graph
+// determines that neighborhood uniquely at every step).
+func Enumerate(degrees []int, limit int) ([][]graph.Edge, error) {
+	residual := make([]int, len(degrees))
+	total := 0
+	for v, d := range degrees {
+		if d < 0 || d >= len(degrees) {
+			return nil, fmt.Errorf("exact: degree %d at node %d out of range", d, v)
+		}
+		residual[v] = d
+		total += d
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("exact: odd degree sum %d", total)
+	}
+	var out [][]graph.Edge
+	edges := make([]graph.Edge, 0, total/2)
+	var fill func() error
+	fill = func() error {
+		// Smallest unsaturated node; all realizations of the residual
+		// sequence extend the edges chosen so far.
+		v := -1
+		for u, r := range residual {
+			if r > 0 {
+				v = u
+				break
+			}
+		}
+		if v < 0 {
+			if limit > 0 && len(out) >= limit {
+				return fmt.Errorf("exact: more than %d realizations", limit)
+			}
+			realization := make([]graph.Edge, len(edges))
+			copy(realization, edges)
+			sort.Slice(realization, func(i, j int) bool { return realization[i] < realization[j] })
+			out = append(out, realization)
+			return nil
+		}
+		need := residual[v]
+		residual[v] = 0
+		var cands []int
+		for u := v + 1; u < len(residual); u++ {
+			if residual[u] > 0 {
+				cands = append(cands, u)
+			}
+		}
+		var choose func(from, picked int) error
+		choose = func(from, picked int) error {
+			if picked == need {
+				return fill()
+			}
+			// Not enough candidates left to saturate v.
+			if need-picked > len(cands)-from {
+				return nil
+			}
+			for i := from; i < len(cands); i++ {
+				u := cands[i]
+				residual[u]--
+				edges = append(edges, graph.MakeEdge(graph.Node(v), graph.Node(u)))
+				if err := choose(i+1, picked+1); err != nil {
+					return err
+				}
+				edges = edges[:len(edges)-1]
+				residual[u]++
+			}
+			return nil
+		}
+		err := choose(0, 0)
+		residual[v] = need
+		return err
+	}
+	if err := fill(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Key returns the canonical string key of a sorted edge list, the cell
+// label shared by the enumeration and the uniformity tests (the same
+// encoding as graph.CanonicalKey).
+func Key(edges []graph.Edge) string {
+	buf := make([]byte, 0, len(edges)*8)
+	for _, e := range edges {
+		for s := 56; s >= 0; s -= 8 {
+			buf = append(buf, byte(e>>uint(s)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,56 @@
+package exact
+
+import "fmt"
+
+// maxLambdaScore gates the tractable rejection regime. The asymptotic
+// acceptance probability of a configuration is exp(-λ-λ²) with
+// λ = Σd(d-1)/(2Σd), so λ+λ² ≤ maxLambdaScore keeps the expected
+// restarts per draw at or below exp(maxLambdaScore) ≈ 400 — cheap for
+// the bounded-degree sequences this tier targets, and far enough from
+// maxAttemptsPerDraw that budget exhaustion is evidence of a bug.
+// Sequences beyond the gate need the switching-correction tier
+// (DESIGN.md §14) and are refused with a typed error instead of
+// being served slowly or, worse, silently rerouted to MCMC.
+const maxLambdaScore = 6.0
+
+// UnsupportedError reports a degree sequence outside the exact tier's
+// tractable regime. It carries the regime score so callers (and error
+// messages) can show how far outside the sequence falls.
+type UnsupportedError struct {
+	// Score is λ+λ² for the sequence; the gate admits Score ≤ 6.
+	Score float64
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("exact: degree sequence outside the tractable rejection regime (λ+λ² = %.2f, limit %g); use the MCMC tier",
+		e.Score, float64(maxLambdaScore))
+}
+
+// lambdaScore computes λ+λ², λ = Σd(d-1)/(2Σd): the exponent of the
+// expected restart count. Zero for sequences with no stub pairs
+// (including the empty and all-degree-≤1 sequences, which every
+// pairing realizes simply).
+func lambdaScore(degrees []int) float64 {
+	var sum, pairs float64
+	for _, d := range degrees {
+		sum += float64(d)
+		pairs += float64(d) * float64(d-1)
+	}
+	if sum == 0 {
+		return 0
+	}
+	lambda := pairs / (2 * sum)
+	return lambda + lambda*lambda
+}
+
+// Supported reports whether the degree sequence lies inside the exact
+// tier's tractable regime, returning nil or a *UnsupportedError. It
+// does not test graphicality (New does, separately): the two failure
+// modes are distinct — an unsupported sequence has realizations the
+// tier cannot reach efficiently, a non-graphical one has none at all.
+func Supported(degrees []int) error {
+	if score := lambdaScore(degrees); score > maxLambdaScore {
+		return &UnsupportedError{Score: score}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package exact
+
+import (
+	"sort"
+
+	"gesmc/internal/graph"
+)
+
+// maxAttemptsPerDraw bounds the restarts of one Draw. With the regime
+// gate holding the expected attempts per draw at exp(λ+λ²) ≤
+// maxExpectedAttempts, the probability of a draw exhausting this
+// budget is below (1-1/maxExpectedAttempts)^maxAttemptsPerDraw —
+// astronomically small — so hitting it signals a bug, not bad luck.
+const maxAttemptsPerDraw = 200_000
+
+// pairing generates one uniformly random configuration: a perfect
+// matching of the degree stubs, realized by Fisher-Yates shuffling the
+// stub array and pairing consecutive entries (a uniformly random
+// permutation induces a uniformly random matching). It returns the
+// sorted edge list and true iff the configuration is simple, aborting
+// at the first defect (loop or multi-edge) without finishing the scan.
+func (s *Sampler) pairing() ([]graph.Edge, bool) {
+	stubs := s.stubs
+	for i := len(stubs) - 1; i > 0; i-- {
+		j := s.rng.IntN(i + 1)
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	}
+	edges := s.scratch[:0]
+	defer s.clearMark()
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			s.stats.LoopDefects++
+			s.scratch = edges
+			return nil, false
+		}
+		e := graph.MakeEdge(u, v)
+		if _, dup := s.mark[e]; dup {
+			s.stats.MultiDefects++
+			s.scratch = edges
+			return nil, false
+		}
+		s.mark[e] = struct{}{}
+		edges = append(edges, e)
+	}
+	s.scratch = edges
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	return edges, true
+}
+
+// clearMark empties the multi-edge scratch set by deleting exactly the
+// edges inserted this attempt (s.scratch is updated before every
+// return of pairing), so an aborted attempt costs O(edges seen)
+// rather than a fresh map allocation.
+func (s *Sampler) clearMark() {
+	for _, e := range s.scratch {
+		delete(s.mark, e)
+	}
+}

@@ -1,0 +1,31 @@
+package exact
+
+// Stats counts the work behind a Sampler's draws. Where the MCMC tiers
+// report switch attempts and acceptances, the exact tier's unit of
+// work is the configuration (pairing) attempt; the defect counters
+// split the restarts by cause, the observable the regime gate's
+// λ (loops) + λ² (multi-edges) prediction speaks about.
+type Stats struct {
+	// Samples counts accepted draws; Attempts counts configurations
+	// generated. Samples/Attempts is the empirical acceptance rate,
+	// converging to exp(-λ-λ²).
+	Samples  int64
+	Attempts int64
+	// Restarts = Attempts - Samples: configurations rejected for a
+	// defect, each answered by a full restart (the tier's uniformity
+	// argument permits no repair).
+	Restarts int64
+	// LoopDefects and MultiDefects count rejections by first defect
+	// found: a stub paired with its own node vs. a duplicate edge.
+	LoopDefects  int64
+	MultiDefects int64
+}
+
+// Add accumulates b into s.
+func (s *Stats) Add(b Stats) {
+	s.Samples += b.Samples
+	s.Attempts += b.Attempts
+	s.Restarts += b.Restarts
+	s.LoopDefects += b.LoopDefects
+	s.MultiDefects += b.MultiDefects
+}

@@ -175,6 +175,29 @@ func FromWire(wr *wire.SampleRequest) (*Request, error) {
 		}
 		r.Algorithm = alg
 	}
+	// The uniformity knob routes between tiers by normalizing into the
+	// algorithm: "exact" selects gesmc.Exact (so the engine-pool key —
+	// which already folds in the algorithm — separates exact engines
+	// from chains with no extra field), "mcmc"/"" keeps the chain the
+	// algorithm picked. Contradictions are rejected rather than
+	// resolved: a caller naming both tiers has a confused request.
+	switch wr.Uniformity {
+	case "":
+	case "mcmc":
+		if r.Algorithm == gesmc.Exact {
+			return nil, &RequestError{Field: "uniformity",
+				Reason: `algorithm "Exact" contradicts uniformity "mcmc"`}
+		}
+	case "exact":
+		if wr.Algorithm != "" && r.Algorithm != gesmc.Exact {
+			return nil, &RequestError{Field: "uniformity",
+				Reason: fmt.Sprintf("uniformity %q contradicts algorithm %q", wr.Uniformity, wr.Algorithm)}
+		}
+		r.Algorithm = gesmc.Exact
+	default:
+		return nil, &RequestError{Field: "uniformity",
+			Reason: fmt.Sprintf("unknown %q (want \"exact\" or \"mcmc\")", wr.Uniformity)}
+	}
 	if r.Workers == 0 {
 		r.Workers = 1
 	}
@@ -226,6 +249,63 @@ func (r *Request) Validate() error {
 			return &RequestError{Field: "forbidden_edges",
 				Reason: fmt.Sprintf("edge[%d] = (%d, %d) is a loop", i, e[0], e[1])}
 		}
+	}
+	// Realizability gates: a non-realizable sequence is answered by an
+	// O(n log n) predicate here, before target compilation, so every
+	// target class 400s the same way the undirected path always has
+	// (the constructions would fail too, but only after their
+	// O(n² log n) attempt).
+	switch r.kind {
+	case targetDegrees:
+		if !gesmc.IsGraphical(r.degrees) {
+			return &RequestError{Field: "degrees",
+				Reason: "degree sequence is not graphical (Erdős–Gallai)"}
+		}
+	case targetInOut:
+		if !gesmc.IsDigraphical(r.outDegrees, r.inDegrees) {
+			return &RequestError{Field: "out_degrees/in_degrees",
+				Reason: "bi-sequence is not digraphical (Fulkerson–Chen–Anstee)"}
+		}
+	case targetBipartite:
+		if !gesmc.IsBigraphical(r.left, r.right) {
+			return &RequestError{Field: "bipartite_left/bipartite_right",
+				Reason: "sequence pair is not bigraphical (Gale–Ryser)"}
+		}
+	}
+	if r.Algorithm == gesmc.Exact {
+		if err := r.validateExact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateExact rejects the request shapes the exact tier cannot
+// serve, with field-level errors naming the offending knob — the
+// sampler would reject them too (ErrExactSchedule and friends), but
+// by then the request has consumed a queue slot and compiled a
+// target.
+func (r *Request) validateExact() error {
+	switch r.kind {
+	case targetInOut, targetBipartite, targetArcs:
+		return &RequestError{Field: "uniformity",
+			Reason: "exact sampling supports undirected targets only; use uniformity \"mcmc\""}
+	}
+	if r.BurnIn != 0 {
+		return &RequestError{Field: "burn_in",
+			Reason: "exact draws are i.i.d.; burn-in does not apply"}
+	}
+	if r.Thinning != 0 {
+		return &RequestError{Field: "thinning",
+			Reason: "exact draws are i.i.d.; thinning does not apply"}
+	}
+	if r.SwapsPerEdge != 0 {
+		return &RequestError{Field: "swaps_per_edge",
+			Reason: "exact draws are i.i.d.; swaps-per-edge does not apply"}
+	}
+	if r.Connected || len(r.ForbiddenEdges) > 0 {
+		return &RequestError{Field: "connected/forbidden_edges",
+			Reason: "constraints are not supported by the exact tier; use uniformity \"mcmc\""}
 	}
 	return nil
 }

@@ -196,6 +196,13 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		sampler, err = gesmc.NewSampler(target, req.samplerOptions()...)
 		if err != nil {
 			s.met.requestsFailed.Add(1)
+			if errors.Is(err, gesmc.ErrExactUnsupported) {
+				// The typed degradation path of the exact tier: a 400
+				// naming the knob and the fallback, never a silent
+				// reroute to MCMC.
+				return &RequestError{Field: "uniformity",
+					Reason: err.Error() + `; retry with uniformity "mcmc"`}
+			}
 			return &RequestError{Field: "options", Reason: err.Error()}
 		}
 		if req.ResumeFrom > 0 {

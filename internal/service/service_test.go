@@ -478,13 +478,20 @@ func TestRequestValidationErrors(t *testing.T) {
 			t.Errorf("%s: err=%v, want ErrBadRequest", c.name, err)
 		}
 	}
-	// Infeasible-but-well-formed specs fail at build time, still typed.
-	r, err := FromWire(&wire.SampleRequest{Degrees: []int{3, 1}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r.buildTarget(); !errors.Is(err, ErrBadRequest) {
-		t.Errorf("non-graphical sequence: err=%v, want ErrBadRequest", err)
+	// Infeasible-but-well-formed specs are caught by the realizability
+	// gates at validation time — before target compilation — for every
+	// sequence-target class.
+	for _, c := range []struct {
+		name string
+		req  wire.SampleRequest
+	}{
+		{"non-graphical", wire.SampleRequest{Degrees: []int{3, 1}}},
+		{"non-digraphical", wire.SampleRequest{OutDegrees: []int{2, 0}, InDegrees: []int{1, 1}}},
+		{"non-bigraphical", wire.SampleRequest{BipartiteLeft: []int{2, 2}, BipartiteRight: []int{3, 1}}},
+	} {
+		if _, err := FromWire(&c.req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err=%v, want ErrBadRequest", c.name, err)
+		}
 	}
 	// And over HTTP they map to 400.
 	svc := New(Config{WorkerBudget: 1})

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"gesmc"
+	"gesmc/wire"
+)
+
+// exactReq is a small exact-tier request over a 3-regular sequence.
+func exactReq(samples int) *wire.SampleRequest {
+	return &wire.SampleRequest{
+		Degrees:    []int{3, 3, 3, 3, 3, 3, 3, 3},
+		Uniformity: "exact",
+		Samples:    samples,
+		Seed:       17,
+	}
+}
+
+// TestFromWireUniformity pins the routing table of the uniformity
+// knob: "exact" normalizes into the Exact algorithm, contradictions
+// and unsupported request shapes 400 with field-level errors.
+func TestFromWireUniformity(t *testing.T) {
+	deg := []int{2, 2, 2}
+	ok := []struct {
+		name string
+		req  wire.SampleRequest
+		want gesmc.Algorithm
+	}{
+		{"default-mcmc", wire.SampleRequest{Degrees: deg}, gesmc.ParGlobalES},
+		{"explicit-mcmc", wire.SampleRequest{Degrees: deg, Uniformity: "mcmc", Algorithm: "SeqES"}, gesmc.SeqES},
+		{"exact", wire.SampleRequest{Degrees: deg, Uniformity: "exact"}, gesmc.Exact},
+		{"exact-redundant-algo", wire.SampleRequest{Degrees: deg, Uniformity: "exact", Algorithm: "Exact"}, gesmc.Exact},
+		{"algo-only", wire.SampleRequest{Degrees: deg, Algorithm: "Exact"}, gesmc.Exact},
+	}
+	for _, tc := range ok {
+		r, err := FromWire(&tc.req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if r.Algorithm != tc.want {
+			t.Fatalf("%s: algorithm %v, want %v", tc.name, r.Algorithm, tc.want)
+		}
+	}
+
+	bad := []struct {
+		name  string
+		req   wire.SampleRequest
+		field string
+	}{
+		{"unknown-tier", wire.SampleRequest{Degrees: deg, Uniformity: "approximate"}, "uniformity"},
+		{"exact-vs-algo", wire.SampleRequest{Degrees: deg, Uniformity: "exact", Algorithm: "ParES"}, "uniformity"},
+		{"mcmc-vs-exact-algo", wire.SampleRequest{Degrees: deg, Uniformity: "mcmc", Algorithm: "Exact"}, "uniformity"},
+		{"exact-burnin", wire.SampleRequest{Degrees: deg, Uniformity: "exact", BurnIn: 10}, "burn_in"},
+		{"exact-thinning", wire.SampleRequest{Degrees: deg, Uniformity: "exact", Thinning: 5}, "thinning"},
+		{"exact-swaps", wire.SampleRequest{Degrees: deg, Uniformity: "exact", SwapsPerEdge: 2}, "swaps_per_edge"},
+		{"exact-connected", wire.SampleRequest{Degrees: deg, Uniformity: "exact", Connected: true}, "connected"},
+		{"exact-forbidden", wire.SampleRequest{Degrees: deg, Uniformity: "exact",
+			ForbiddenEdges: [][2]uint32{{0, 1}}}, "forbidden_edges"},
+		{"exact-directed", wire.SampleRequest{OutDegrees: []int{1, 1, 0}, InDegrees: []int{0, 1, 1},
+			Uniformity: "exact"}, "uniformity"},
+		{"exact-bipartite", wire.SampleRequest{BipartiteLeft: []int{1, 1}, BipartiteRight: []int{1, 1},
+			Uniformity: "exact"}, "uniformity"},
+		{"exact-arcs", wire.SampleRequest{Edges: [][2]uint32{{0, 1}, {1, 2}}, Directed: true,
+			Uniformity: "exact"}, "uniformity"},
+	}
+	for _, tc := range bad {
+		_, err := FromWire(&tc.req)
+		if !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("%s: err=%v, want ErrBadRequest", tc.name, err)
+		}
+		var re *RequestError
+		if !errors.As(err, &re) || !strings.Contains(re.Field, tc.field) {
+			t.Fatalf("%s: error %v does not name field %q", tc.name, err, tc.field)
+		}
+	}
+}
+
+// TestExactStreamUniformityStats: an exact stream labels every line
+// with stats.uniformity "exact" and the rejection counters, an MCMC
+// stream with "mcmc" — the in-band signal clients use to tell which
+// tier actually served them.
+func TestExactStreamUniformityStats(t *testing.T) {
+	svc := New(Config{WorkerBudget: 4})
+	defer svc.Shutdown(context.Background())
+	b := NewLocalBackend(svc)
+
+	lines, err := collect(b, exactReq(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5", len(lines))
+	}
+	for _, ln := range lines {
+		if ln.Stats == nil || ln.Stats.Uniformity != "exact" {
+			t.Fatalf("exact line without uniformity label: %+v", ln)
+		}
+		if ln.Stats.Algorithm != "Exact" {
+			t.Fatalf("exact line algorithm %q", ln.Stats.Algorithm)
+		}
+		// Per-line restart accounting: attempts = the landed draw plus
+		// the rejected pairings, each attributed to a defect class.
+		if ln.Stats.Attempted != ln.Stats.Accepted+ln.Stats.Restarts {
+			t.Fatalf("line %d: attempted=%d accepted=%d restarts=%d",
+				ln.Index, ln.Stats.Attempted, ln.Stats.Accepted, ln.Stats.Restarts)
+		}
+		if ln.Stats.LoopDefects+ln.Stats.MultiDefects != ln.Stats.Restarts {
+			t.Fatalf("line %d: defect classes do not sum to restarts: %+v", ln.Index, ln.Stats)
+		}
+	}
+
+	mcmc, err := collect(b, &wire.SampleRequest{Degrees: []int{3, 3, 3, 3, 3, 3, 3, 3}, Samples: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range mcmc {
+		if ln.Stats == nil || ln.Stats.Uniformity != "mcmc" {
+			t.Fatalf("mcmc line mislabeled: %+v", ln.Stats)
+		}
+	}
+}
+
+// TestExactResumeSuffixIdentity: the acceptance gate extended to the
+// exact tier — a resumed exact stream is bit-identical to the suffix
+// of the uninterrupted stream, because the only chain state is the
+// RNG stream position and fast-forward replays it draw by draw.
+func TestExactResumeSuffixIdentity(t *testing.T) {
+	full := coldStream(t, exactReq(8))
+	if len(full) != 8 {
+		t.Fatalf("%d lines, want 8", len(full))
+	}
+	for _, k := range []int{1, 4, 7} {
+		req := exactReq(8)
+		req.ResumeFrom = k
+		got := coldStream(t, req)
+		if err := sameSamples(got, full[k:]); err != nil {
+			t.Fatalf("exact resume at %d: %v", k, err)
+		}
+	}
+}
+
+// TestExactPoolReuse: exact engines pool like chains do — the
+// algorithm in the engine key separates them from MCMC engines for
+// the same target, a repeat request reuses the compiled engine, and a
+// pooled engine resumed mid-stream serves the canonical suffix.
+func TestExactPoolReuse(t *testing.T) {
+	full := coldStream(t, exactReq(6))
+
+	svc := New(Config{WorkerBudget: 4, PoolCapacity: 4})
+	defer svc.Shutdown(context.Background())
+	b := NewLocalBackend(svc)
+
+	pre := exactReq(6)
+	pre.Samples = 3
+	got, err := collect(b, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSamples(got, full[:3]); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+
+	cont := exactReq(6)
+	cont.ResumeFrom = 3
+	got, err = collect(b, cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSamples(got, full[3:]); err != nil {
+		t.Fatalf("pooled exact resume: %v", err)
+	}
+	if pm := svc.Metrics(); pm.Pool.Hits == 0 {
+		t.Fatalf("exact resume did not reuse the pooled engine: %+v", pm.Pool)
+	}
+
+	// Same request, different tier → different engine key: the MCMC
+	// request must not check out the parked exact engine.
+	k1, err := PoolKey(exactReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := PoolKey(&wire.SampleRequest{Degrees: []int{3, 3, 3, 3, 3, 3, 3, 3}, Samples: 6, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("exact and mcmc requests share a pool key")
+	}
+}
+
+// TestExactUnsupportedIsTyped: a degree sequence outside the
+// rejection regime answers with a bad_request naming the uniformity
+// knob and the fallback — never a silent reroute to an MCMC chain.
+func TestExactUnsupportedIsTyped(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Shutdown(context.Background())
+
+	k20 := make([]int, 20)
+	for i := range k20 {
+		k20[i] = 19
+	}
+	req := &wire.SampleRequest{Degrees: k20, Uniformity: "exact", Samples: 1, Seed: 1}
+	lines, err := collect(NewLocalBackend(svc), req)
+	if len(lines) != 0 {
+		t.Fatalf("unsupported request streamed %d lines", len(lines))
+	}
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err=%v, want ErrBadRequest", err)
+	}
+	var re *RequestError
+	if !errors.As(err, &re) || re.Field != "uniformity" {
+		t.Fatalf("error %v does not name the uniformity field", err)
+	}
+	if !strings.Contains(re.Reason, `"mcmc"`) {
+		t.Fatalf("error %v does not name the mcmc fallback", err)
+	}
+	if errCode(err) != "bad_request" {
+		t.Fatalf("wire code %q, want bad_request", errCode(err))
+	}
+}

@@ -11,6 +11,7 @@ type samplerConfig struct {
 	workers          int
 	seed             uint64
 	swapsPerEdge     float64
+	swapsSet         bool // WithSwapsPerEdge called explicitly (default is 10 either way)
 	burnIn           int // supersteps before the first sample; 0 derives from swapsPerEdge
 	thinning         int // supersteps between samples; 0 derives from burn-in
 	loopProb         float64
@@ -102,6 +103,7 @@ func WithSwapsPerEdge(s float64) Option {
 			return fmt.Errorf("%w: got %v", ErrInvalidSwapsPerEdge, s)
 		}
 		c.swapsPerEdge = s
+		c.swapsSet = true
 		return nil
 	}
 }

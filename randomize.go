@@ -46,6 +46,17 @@ const (
 	// most — once per global trade). WithWorkers applies; results are
 	// invariant under the worker count. Undirected targets only.
 	GlobalCurveball
+	// Exact is not a Markov chain: each draw is an exactly uniform,
+	// independent sample of the simple graphs with the target's degree
+	// sequence, produced by pairing-model generation with rejection
+	// (restart on any loop or multi-edge; DESIGN.md §14). There is no
+	// burn-in and no thinning — combining Exact with WithBurnIn,
+	// WithThinning, or WithSwapsPerEdge returns ErrExactSchedule — and
+	// Stats reports restart counts instead of switch acceptance.
+	// Bounded-degree undirected targets only: sequences outside the
+	// tractable rejection regime return ErrExactUnsupported, and the
+	// caller decides the fallback (typically an MCMC chain).
+	Exact
 )
 
 var algNames = map[Algorithm]core.Algorithm{
@@ -64,13 +75,18 @@ var curveballNames = map[Algorithm]string{
 	GlobalCurveball: "GlobalCurveball",
 }
 
+// exactName names the non-chain exact sampler.
+const exactName = "Exact"
+
 // valid reports whether a is a defined Algorithm value.
 func (a Algorithm) valid() bool {
 	if _, ok := algNames[a]; ok {
 		return true
 	}
-	_, ok := curveballNames[a]
-	return ok
+	if _, ok := curveballNames[a]; ok {
+		return true
+	}
+	return a == Exact
 }
 
 // String returns the paper's name for the implementation.
@@ -80,6 +96,9 @@ func (a Algorithm) String() string {
 	}
 	if name, ok := curveballNames[a]; ok {
 		return name
+	}
+	if a == Exact {
+		return exactName
 	}
 	return "unknown"
 }
@@ -105,7 +124,7 @@ func (e *ParseError) Unwrap() error { return ErrUnknownAlgorithm }
 func Algorithms() []Algorithm {
 	return []Algorithm{
 		SeqES, SeqGlobalES, NaiveParES, ParES, ParGlobalES,
-		AdjListES, AdjSortES, Curveball, GlobalCurveball,
+		AdjListES, AdjSortES, Curveball, GlobalCurveball, Exact,
 	}
 }
 
@@ -200,7 +219,16 @@ type Stats struct {
 	ConstraintVetoes int64
 	EscapeAttempts   int64
 	EscapeMoves      int64
-	Duration         time.Duration
+	// Exact-tier instrumentation (zero for the MCMC chains): Restarts
+	// counts configurations rejected for a defect and regenerated from
+	// scratch, split into LoopDefects and MultiDefects by first defect
+	// found. For Exact, Attempted counts configurations generated and
+	// Accepted the draws emitted, so Accepted/Attempted is the
+	// empirical acceptance rate exp(-λ-λ²) the regime gate bounds.
+	Restarts     int64
+	LoopDefects  int64
+	MultiDefects int64
+	Duration     time.Duration
 }
 
 // Randomize runs the selected switching Markov chain on g in place and

@@ -10,6 +10,8 @@ import (
 	"gesmc/internal/core"
 	"gesmc/internal/curveball"
 	"gesmc/internal/digraph"
+	"gesmc/internal/exact"
+	"gesmc/internal/graph"
 	"gesmc/internal/switching"
 )
 
@@ -35,18 +37,21 @@ type samplerEngine interface {
 // engineStats carries raw counters between the internal engines and the
 // public Stats, so increments merge exactly.
 type engineStats struct {
-	supersteps  int
-	attempted   int64
-	legal       int64
-	internal    int
-	totalRounds int64
-	maxRounds   int
-	firstRound  time.Duration
-	laterRounds time.Duration
-	vetoed      int64
-	escAttempts int64
-	escMoves    int64
-	duration    time.Duration
+	supersteps   int
+	attempted    int64
+	legal        int64
+	internal     int
+	totalRounds  int64
+	maxRounds    int
+	firstRound   time.Duration
+	laterRounds  time.Duration
+	vetoed       int64
+	escAttempts  int64
+	escMoves     int64
+	restarts     int64
+	loopDefects  int64
+	multiDefects int64
+	duration     time.Duration
 }
 
 func (a *engineStats) add(b engineStats) {
@@ -63,6 +68,9 @@ func (a *engineStats) add(b engineStats) {
 	a.vetoed += b.vetoed
 	a.escAttempts += b.escAttempts
 	a.escMoves += b.escMoves
+	a.restarts += b.restarts
+	a.loopDefects += b.loopDefects
+	a.multiDefects += b.multiDefects
 	a.duration += b.duration
 }
 
@@ -76,6 +84,9 @@ func (a engineStats) toStats(algorithm string) Stats {
 		ConstraintVetoes: a.vetoed,
 		EscapeAttempts:   a.escAttempts,
 		EscapeMoves:      a.escMoves,
+		Restarts:         a.restarts,
+		LoopDefects:      a.loopDefects,
+		MultiDefects:     a.multiDefects,
 		Duration:         a.duration,
 	}
 	if a.internal > 0 {
@@ -160,12 +171,20 @@ func NewSampler(t Target, opts ...Option) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
+	burnIn, thin := cfg.burnInSteps(), cfg.thinningSteps()
+	if cfg.algorithm == Exact {
+		// Exact draws are i.i.d.: one superstep is one fresh uniform
+		// draw, so burn-in and thinning collapse to a single superstep
+		// (explicit schedule options were already rejected by the
+		// engine compile with ErrExactSchedule).
+		burnIn, thin = 1, 1
+	}
 	return &Sampler{
 		target:   t,
 		eng:      eng,
 		algName:  cfg.algorithm.String(),
-		burnIn:   cfg.burnInSteps(),
-		thin:     cfg.thinningSteps(),
+		burnIn:   burnIn,
+		thin:     thin,
 		progress: cfg.progress,
 	}, nil
 }
@@ -462,6 +481,76 @@ func (e *curveballEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), ni
 
 func (e *curveballEngine) close() { e.eng.Close() }
 
+// exactEngine adapts the exact rejection sampler (internal/exact) to
+// the sampler. One superstep is one fresh exactly uniform draw,
+// written into the target in place like the chain engines write their
+// switched state; the engine holds no chain state beyond the RNG
+// stream position, which is what makes pooled exact engines freely
+// resumable (DESIGN.md §14). There is no worker gang to release:
+// close is a no-op and WithWorkers is accepted but ignored.
+type exactEngine struct {
+	g   *Graph
+	eng *exact.Sampler
+}
+
+func (e *exactEngine) steps(ctx context.Context, k int) (engineStats, error) {
+	start := time.Now()
+	var es engineStats
+	before := e.eng.Stats()
+	var err error
+	for i := 0; i < k; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+			break
+		}
+		var rg *graph.Graph
+		rg, err = e.eng.DrawGraph()
+		if err != nil {
+			break
+		}
+		e.g.g = rg
+		e.g.invalidate()
+		es.supersteps++
+	}
+	d := e.eng.Stats()
+	es.attempted = d.Attempts - before.Attempts
+	es.legal = d.Samples - before.Samples
+	es.restarts = d.Restarts - before.Restarts
+	es.loopDefects = d.LoopDefects - before.LoopDefects
+	es.multiDefects = d.MultiDefects - before.MultiDefects
+	es.duration = time.Since(start)
+	return es, err
+}
+
+func (e *exactEngine) snapshot() (*Graph, *DiGraph) { return e.g.Clone(), nil }
+
+func (e *exactEngine) close() {}
+
+// newExactEngine compiles an undirected target for the Exact
+// algorithm, mapping the internal typed errors to the public
+// sentinels and rejecting the options that have no meaning for i.i.d.
+// draws.
+func newExactEngine(g *Graph, cfg *samplerConfig) (samplerEngine, error) {
+	if len(cfg.constraints) > 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnsupportedConstraint, exactName)
+	}
+	if cfg.burnIn > 0 || cfg.thinning > 0 || cfg.swapsSet {
+		return nil, fmt.Errorf("%w (WithBurnIn/WithThinning/WithSwapsPerEdge with %s)",
+			ErrExactSchedule, exactName)
+	}
+	eng, err := exact.New(g.g.Degrees(), cfg.seed)
+	if err != nil {
+		var ue *exact.UnsupportedError
+		if errors.As(err, &ue) {
+			return nil, fmt.Errorf("%w: λ+λ² = %.2f", ErrExactUnsupported, ue.Score)
+		}
+		// The degree sequence of an existing graph is graphical by
+		// construction; anything else is an internal invariant break.
+		return nil, err
+	}
+	return &exactEngine{g: g, eng: eng}, nil
+}
+
 // digraphEngine adapts digraph.Engine (directed and bipartite targets)
 // to the sampler.
 type digraphEngine struct {
@@ -496,6 +585,9 @@ func (e *digraphEngine) close() { e.eng.Close() }
 func (g *Graph) newSamplerEngine(cfg *samplerConfig) (samplerEngine, error) {
 	if g == nil || g.g == nil {
 		return nil, ErrNilTarget
+	}
+	if cfg.algorithm == Exact {
+		return newExactEngine(g, cfg)
 	}
 	if cfg.algorithm == Curveball || cfg.algorithm == GlobalCurveball {
 		if len(cfg.constraints) > 0 {

@@ -51,6 +51,17 @@ type SampleRequest struct {
 
 	// Algorithm is a gesmc.ParseAlgorithm name ("" = ParGlobalES).
 	Algorithm string `json:"algorithm,omitempty"`
+	// Uniformity routes the request between the sampling tiers:
+	// "exact" draws exactly uniform i.i.d. samples (gesmc.Exact —
+	// undirected bounded-degree targets only; burn_in, thinning,
+	// swaps_per_edge, and constraints must be unset, and a sequence
+	// outside the tractable regime fails with a typed bad_request
+	// rather than silently falling back), "mcmc" the asymptotically
+	// uniform chains ("" = "mcmc"). Setting "exact" together with an
+	// explicit non-Exact Algorithm is a contradiction and rejected.
+	// Every streamed line reports the serving tier in
+	// Stats.Uniformity.
+	Uniformity string `json:"uniformity,omitempty"`
 	// Workers is the parallelism degree P of the compiled engine; it
 	// also counts against the service's global worker budget.
 	Workers int `json:"workers,omitempty"`
@@ -89,7 +100,11 @@ type SampleRequest struct {
 
 // Stats is the JSON form of gesmc.Stats.
 type Stats struct {
-	Algorithm          string  `json:"algorithm"`
+	Algorithm string `json:"algorithm"`
+	// Uniformity is the tier that produced the sample: "exact" for
+	// gesmc.Exact (exactly uniform i.i.d. draws), "mcmc" for every
+	// Markov chain.
+	Uniformity         string  `json:"uniformity,omitempty"`
 	Supersteps         int     `json:"supersteps"`
 	Attempted          int64   `json:"attempted"`
 	Accepted           int64   `json:"accepted"`
@@ -100,7 +115,12 @@ type Stats struct {
 	ConstraintVetoes int64 `json:"constraint_vetoes,omitempty"`
 	EscapeAttempts   int64 `json:"escape_attempts,omitempty"`
 	EscapeMoves      int64 `json:"escape_moves,omitempty"`
-	DurationNS       int64 `json:"duration_ns"`
+	// Exact-tier instrumentation (absent on MCMC lines): rejected
+	// configurations per draw, split by first defect found.
+	Restarts     int64 `json:"restarts,omitempty"`
+	LoopDefects  int64 `json:"loop_defects,omitempty"`
+	MultiDefects int64 `json:"multi_defects,omitempty"`
+	DurationNS   int64 `json:"duration_ns"`
 	// Backend identifies the daemon (shard) whose engine produced this
 	// sample: set by a server configured with an identity, and filled
 	// in by the cluster coordinator for lines it proxies, so clients
@@ -108,10 +128,18 @@ type Stats struct {
 	Backend string `json:"backend,omitempty"`
 }
 
-// FromStats converts sampler statistics to their wire form.
+// FromStats converts sampler statistics to their wire form. The
+// uniformity label is derived from the algorithm, so every producer —
+// daemon, coordinator, and the CLI's local NDJSON mode — reports the
+// serving tier without extra plumbing.
 func FromStats(st gesmc.Stats) Stats {
+	uniformity := "mcmc"
+	if st.Algorithm == gesmc.Exact.String() {
+		uniformity = "exact"
+	}
 	return Stats{
 		Algorithm:          st.Algorithm,
+		Uniformity:         uniformity,
 		Supersteps:         st.Supersteps,
 		Attempted:          st.Attempted,
 		Accepted:           st.Accepted,
@@ -121,6 +149,9 @@ func FromStats(st gesmc.Stats) Stats {
 		ConstraintVetoes:   st.ConstraintVetoes,
 		EscapeAttempts:     st.EscapeAttempts,
 		EscapeMoves:        st.EscapeMoves,
+		Restarts:           st.Restarts,
+		LoopDefects:        st.LoopDefects,
+		MultiDefects:       st.MultiDefects,
 		DurationNS:         st.Duration.Nanoseconds(),
 	}
 }
