@@ -72,6 +72,10 @@ type benchReport struct {
 	// occasional rollbacks, against the unconstrained chain on the
 	// same (connected) workload.
 	ConstrainedOverhead *constrainedOverhead `json:"constrained_overhead"`
+	// TelemetryOverhead measures the observability tax: the same
+	// request workload with tracing/histograms on vs off (see
+	// telemetry_bench.go). Gated at <= 1.03 in CI.
+	TelemetryOverhead *telemetryOverhead `json:"telemetry_overhead"`
 }
 
 // constrainedOverhead is the bench artifact of the constraint layer:
@@ -258,6 +262,12 @@ func bench(opt options) error {
 		return err
 	}
 	report.ConstrainedOverhead = co
+
+	to, err := benchTelemetry(opt)
+	if err != nil {
+		return err
+	}
+	report.TelemetryOverhead = to
 
 	out := benchOut
 	if out == "" {

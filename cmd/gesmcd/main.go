@@ -9,7 +9,14 @@
 //	POST /v1/sample   sample an ensemble; the response is NDJSON, one
 //	                  line per sample, streamed as produced
 //	GET  /v1/healthz  liveness
-//	GET  /v1/metrics  request/queue/pool/throughput counters
+//	GET  /v1/metrics  request/queue/pool/throughput counters (JSON; with
+//	                  "Accept: text/plain", Prometheus text exposition
+//	                  including queue-wait and superstep-phase histograms)
+//	GET  /v1/trace    span dump of one request trace (?id= from any
+//	                  streamed line's stats.trace_id)
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/; -log
+// controls the structured request log (trace IDs included).
 //
 // Example:
 //
@@ -42,8 +49,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -72,8 +81,24 @@ func main() {
 		health      = flag.Duration("health", 2*time.Second, "backend health-check interval (coordinator mode)")
 
 		faults = flag.String("faults", "", "arm chaos fault points, e.g. server.stream:cut:after=5:hits=1,server.health:flap (testing only)")
+
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
+		logLevel    = flag.String("log", "info", "structured request-log level: debug, info, warn, error, or off")
+		noTelemetry = flag.Bool("no-telemetry", false, "disable tracing, latency histograms, and Prometheus exposition")
 	)
 	flag.Parse()
+
+	// Structured request logging (slog, text format, stderr): one line
+	// per request with its trace ID, plus failover and breaker-
+	// transition events in coordinator mode.
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("gesmcd: -log: %v", err)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	}
 
 	if *faults != "" {
 		fs, err := faultinject.ParseSpec(*faults)
@@ -109,6 +134,8 @@ func main() {
 			Replication:    *replicate,
 			HotThreshold:   *hot,
 			HealthInterval: *health,
+			NoTelemetry:    *noTelemetry,
+			Logger:         logger,
 		})
 		if err != nil {
 			log.Fatalf("gesmcd: %v", err)
@@ -130,6 +157,8 @@ func main() {
 			QueueLimit:   *queue,
 			PoolCapacity: *pool,
 			NoPooling:    *pool == 0,
+			NoTelemetry:  *noTelemetry,
+			Logger:       logger,
 		})
 		handler = service.NewHandler(svc)
 		shutdownTier = func(ctx context.Context) {
@@ -139,6 +168,19 @@ func main() {
 		}
 		fmt.Printf("gesmcd: listening on %s (budget=%d queue=%d pool=%d)\n",
 			ln.Addr(), *budget, *queue, *pool)
+	}
+
+	if *pprofOn {
+		// Mount the profiling endpoints beside the API: CPU/heap/
+		// goroutine profiles on a live daemon, no restart needed.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
 	}
 
 	srv := &http.Server{Handler: handler}

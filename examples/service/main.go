@@ -2,7 +2,10 @@
 // sampling request to a running daemon and consumes the NDJSON stream
 // incrementally — each sample line is decoded, rebuilt into a
 // *gesmc.Graph, and summarized as it arrives, demonstrating that the
-// server never buffers the ensemble.
+// server never buffers the ensemble. Afterwards it fetches the
+// request's span dump from /v1/trace using the trace ID stamped on
+// the streamed lines, showing where the request spent its time
+// (queue wait, pool checkout, engine streaming).
 //
 // Run a daemon first:
 //
@@ -50,6 +53,7 @@ func main() {
 		log.Fatalf("HTTP %d: %s", resp.StatusCode, msg)
 	}
 
+	var traceID string
 	err = wire.DecodeLines(resp.Body, func(ln wire.Line) error {
 		if ln.Error != "" {
 			return fmt.Errorf("stream terminated: %s (%s)", ln.Error, ln.Code)
@@ -58,11 +62,36 @@ func main() {
 		if err != nil {
 			return err
 		}
+		traceID = ln.Stats.TraceID
 		fmt.Printf("sample %3d: m=%d triangles=%d clustering=%.3f (supersteps=%d)\n",
 			ln.Index, g.M(), g.Triangles(), g.ClusteringCoefficient(), ln.Stats.Supersteps)
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Every line carried the same trace ID; ask the daemon where that
+	// request spent its time.
+	if traceID == "" {
+		return // daemon running with -no-telemetry
+	}
+	tr, err := http.Get("http://" + *addr + "/v1/trace?id=" + traceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var dump struct {
+		Spans []struct {
+			Name       string `json:"name"`
+			DurationNS int64  `json:"duration_ns"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&dump); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace %s:\n", traceID)
+	for _, s := range dump.Spans {
+		fmt.Printf("  %-16s %10.3fms\n", s.Name, float64(s.DurationNS)/1e6)
 	}
 }

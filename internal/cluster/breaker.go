@@ -47,6 +47,12 @@ type breaker struct {
 	cooldown  time.Duration // open → half-open no sooner than this
 	probes    int           // consecutive successes that close half-open
 
+	// notify observes state transitions (from, to) — the coordinator
+	// wires it to structured logging and the transition counter. Called
+	// outside the breaker lock, after the transition committed; may be
+	// nil. Set before the breaker sees traffic.
+	notify func(from, to breakerState)
+
 	mu        sync.Mutex
 	state     breakerState
 	failures  int       // consecutive, while closed
@@ -78,14 +84,14 @@ func (b *breaker) available() bool {
 // eviction event.
 func (b *breaker) onFailure() (tripped bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case breakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = breakerOpen
 			b.openedAt = time.Now()
-			return true
+			tripped = true
 		}
 	case breakerHalfOpen:
 		// The trial failed; back to open for a fresh cooldown. Not a
@@ -98,7 +104,12 @@ func (b *breaker) onFailure() (tripped bool) {
 		// that fails every probe never even reaches half-open.
 		b.openedAt = time.Now()
 	}
-	return false
+	to := b.state
+	b.mu.Unlock()
+	if b.notify != nil && from != to {
+		b.notify(from, to)
+	}
+	return tripped
 }
 
 // onSuccess records a probe or request success, reporting whether it
@@ -106,12 +117,13 @@ func (b *breaker) onFailure() (tripped bool) {
 // event.
 func (b *breaker) onSuccess() (revived bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	switch b.state {
 	case breakerClosed:
 		b.failures = 0
 	case breakerOpen:
 		if time.Since(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
 			return false // too soon; stay open
 		}
 		b.state = breakerHalfOpen
@@ -119,7 +131,7 @@ func (b *breaker) onSuccess() (revived bool) {
 		if b.successes >= b.probes {
 			b.state = breakerClosed
 			b.failures = 0
-			return true
+			revived = true
 		}
 	case breakerHalfOpen:
 		b.successes++
@@ -127,10 +139,15 @@ func (b *breaker) onSuccess() (revived bool) {
 			b.state = breakerClosed
 			b.failures = 0
 			b.successes = 0
-			return true
+			revived = true
 		}
 	}
-	return false
+	to := b.state
+	b.mu.Unlock()
+	if b.notify != nil && from != to {
+		b.notify(from, to)
+	}
+	return revived
 }
 
 // stateName snapshots the state for metrics.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"gesmc/internal/service"
+	"gesmc/internal/telemetry"
 	"gesmc/wire"
 )
 
@@ -67,6 +69,12 @@ type Config struct {
 	// long as their request contexts, so it must not carry a global
 	// timeout.
 	Client *http.Client
+	// NoTelemetry disables tracing, latency histograms, and Prometheus
+	// exposition for this coordinator (on by default).
+	NoTelemetry bool
+	// Logger receives structured request, failover, and breaker-
+	// transition logs with trace IDs. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +160,7 @@ type Coordinator struct {
 	ring   *ring
 	shards []*shard
 	start  time.Time
+	tm     *coordTelemetry
 
 	hotMu   sync.Mutex
 	hotKeys map[uint64]int64
@@ -188,6 +197,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:     cfg,
 		start:   time.Now(),
+		tm:      newCoordTelemetry(!cfg.NoTelemetry, cfg.Logger),
 		hotKeys: make(map[uint64]int64),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -195,7 +205,7 @@ func New(cfg Config) (*Coordinator, error) {
 	ids := make([]string, len(cfg.Shards))
 	seen := make(map[string]bool, len(cfg.Shards))
 	for i, sc := range cfg.Shards {
-		b := service.NewRemoteBackend(sc.URL, cfg.Client)
+		b := service.NewRemoteBackend(sc.URL, cfg.Client).WithMetrics(c.tm.roundTrip, c.tm.backoff)
 		id := sc.ID
 		if id == "" {
 			id = b.URL()
@@ -206,13 +216,26 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		seen[id] = true
 		ids[i] = id
+		brk := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes)
+		// Breaker transitions were previously silent; surface every one
+		// with the shard ID, through the structured logger and the
+		// labeled transition counter.
+		shardID := id
+		brk.notify = func(from, to breakerState) {
+			c.tm.log.Warn("breaker transition",
+				slog.String("shard", shardID),
+				slog.String("from", from.String()),
+				slog.String("to", to.String()))
+			c.tm.breakerTransitions.With(telemetry.Labels("shard", shardID, "to", to.String())).Inc()
+		}
 		c.shards = append(c.shards, &shard{
 			id:      id,
 			backend: b,
-			brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes),
+			brk:     brk,
 		})
 	}
 	c.ring = newRing(ids, cfg.VNodes)
+	c.registerFuncMetrics()
 	if cfg.HealthInterval > 0 {
 		c.wg.Add(1)
 		go c.healthLoop()
@@ -357,6 +380,32 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 	if err != nil {
 		return err
 	}
+	// Root span of the coordinated request (or a child, when an
+	// upstream tier propagated a trace). Shard attempts hang off it and
+	// carry the trace to the shards over the wire header.
+	ctx, span := c.tm.trc.StartSpan(ctx, "coordinator.route")
+	span.SetAttr("key", fmt.Sprintf("%016x", key))
+	start := time.Now()
+	err = c.sample(ctx, req, emit, key)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	level := slog.LevelInfo
+	if err != nil && ctx.Err() == nil && !errors.Is(err, service.ErrBadRequest) {
+		level = slog.LevelWarn
+	}
+	c.tm.log.LogAttrs(ctx, level, "coordinated request",
+		slog.String("trace", telemetry.TraceIDString(ctx)),
+		slog.String("key", fmt.Sprintf("%016x", key)),
+		slog.Int("samples", req.Samples),
+		slog.Duration("duration", time.Since(start)),
+		slog.Bool("ok", err == nil))
+	return err
+}
+
+func (c *Coordinator) sample(ctx context.Context, req *wire.SampleRequest, emit func(wire.Line) error, key uint64) error {
+	traceID := telemetry.TraceIDString(ctx)
 	samples := req.Samples
 	if samples <= 0 {
 		samples = 1
@@ -387,8 +436,21 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 		attempts++
 		if cursor > base {
 			// Re-issuing mid-stream: the replacement shard fast-forwards
-			// its chain to the cursor; the client never notices.
+			// its chain to the cursor; the client never notices. The
+			// splice is its own (instant) span so the trace records
+			// where the stream changed shards, and it is logged with
+			// the trace ID.
 			c.midstreamFailovers.Add(1)
+			_, sspan := c.tm.trc.StartSpan(ctx, "coordinator.splice")
+			sspan.SetAttr("from", lastShard)
+			sspan.SetAttr("to", sh.id)
+			sspan.SetInt("cursor", int64(cursor))
+			sspan.End()
+			c.tm.log.Warn("mid-stream failover",
+				slog.String("trace", traceID),
+				slog.String("from", lastShard),
+				slog.String("to", sh.id),
+				slog.Int("cursor", cursor))
 		}
 		creq := *req
 		creq.ResumeFrom = cursor
@@ -397,7 +459,14 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 		var emitFailed error
 		sh.requests.Add(1)
 		sh.inflight.Add(1)
-		err := sh.backend.Sample(ctx, &creq, func(ln wire.Line) error {
+		// The attempt span's context carries the trace to the shard:
+		// RemoteBackend stamps it into the wire header, the shard joins
+		// it, and every line the shard streams back carries the same
+		// trace ID — one coherent trace across the failover.
+		attemptCtx, aspan := c.tm.trc.StartSpan(ctx, "shard.attempt")
+		aspan.SetAttr("shard", sh.id)
+		aspan.SetInt("resume_from", int64(cursor))
+		err := sh.backend.Sample(attemptCtx, &creq, func(ln wire.Line) error {
 			if ln.Error != "" {
 				// Hold the shard's in-band terminator back: if failover
 				// succeeds the client must never see it; if the failure
@@ -408,6 +477,11 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 			}
 			if ln.Stats != nil && ln.Stats.Backend == "" {
 				ln.Stats.Backend = sh.id
+			}
+			if ln.Stats != nil && ln.Stats.TraceID == "" {
+				// A shard without telemetry streamed this line; stamp
+				// the coordinator's trace so the stream stays coherent.
+				ln.Stats.TraceID = traceID
 			}
 			if err := emit(ln); err != nil {
 				emitFailed = err
@@ -422,6 +496,10 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 			return nil
 		})
 		sh.inflight.Add(-1)
+		if err != nil {
+			aspan.SetAttr("error", err.Error())
+		}
+		aspan.End()
 		if err == nil {
 			if sh.brk.onSuccess() {
 				c.revivals.Add(1)
@@ -457,6 +535,9 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 				c.failed.Add(1)
 				if held != nil {
 					c.midstream.Add(1)
+					if held.TraceID == "" {
+						held.TraceID = traceID
+					}
 					emit(*held)
 				}
 				return err
@@ -496,10 +577,11 @@ func (c *Coordinator) Sample(ctx context.Context, req *wire.SampleRequest, emit 
 		// terminate in-band, exactly as a single daemon's Service does.
 		c.midstream.Add(1)
 		emit(wire.Line{
-			Index:  cursor,
-			Cursor: cursor,
-			Error:  fmt.Sprintf("backend %s failed mid-stream: %v", lastShard, lastErr),
-			Code:   "backend",
+			Index:   cursor,
+			Cursor:  cursor,
+			Error:   fmt.Sprintf("backend %s failed mid-stream: %v", lastShard, lastErr),
+			Code:    "backend",
+			TraceID: traceID,
 		})
 	}
 	return lastErr
@@ -568,6 +650,7 @@ func (c *Coordinator) Metrics(context.Context) (wire.Metrics, error) {
 		RequestsFailed:   c.failed.Load(),
 		SamplesTotal:     c.samples.Load(),
 		UptimeMS:         time.Since(c.start).Milliseconds(),
+		StartedAtMS:      c.start.UnixMilli(),
 		Cluster:          cm,
 	}, nil
 }

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"io"
+	"log/slog"
+
+	"gesmc/internal/telemetry"
+)
+
+// coordTelemetry bundles the coordinator's observability instruments;
+// all instruments are nil (no-op) when Config.NoTelemetry is set.
+type coordTelemetry struct {
+	reg *telemetry.Registry
+	trc *telemetry.Tracer
+	log *slog.Logger
+
+	// roundTrip observes every backend request's wall time (shared
+	// across shards via RemoteBackend.WithMetrics); backoff the retry
+	// sleeps; attempt the per-candidate stream attempts.
+	roundTrip *telemetry.Histogram
+	backoff   *telemetry.Histogram
+
+	// breakerTransitions counts per-shard breaker state changes,
+	// labeled {shard, to}.
+	breakerTransitions *telemetry.CounterVec
+}
+
+func newCoordTelemetry(enabled bool, logger *slog.Logger) *coordTelemetry {
+	tm := &coordTelemetry{log: telemetry.Logger(logger)}
+	if !enabled {
+		return tm
+	}
+	tm.reg = telemetry.NewRegistry()
+	tm.trc = telemetry.NewTracer()
+	tm.roundTrip = tm.reg.Histogram("gesmc_backend_roundtrip_seconds",
+		"Backend request wall time (streams included), per shard attempt.", telemetry.LatencyBuckets)
+	tm.backoff = tm.reg.Histogram("gesmc_retry_backoff_seconds",
+		"Retry backoff sleeps before re-issuing a backend request.", telemetry.LatencyBuckets)
+	tm.breakerTransitions = tm.reg.CounterVec("gesmc_cluster_breaker_transitions_total",
+		"Circuit-breaker state transitions, labeled by shard and destination state.")
+	return tm
+}
+
+// registerFuncMetrics exposes the routing counters the coordinator
+// already keeps as scrape-time func metrics, plus per-shard series and
+// the breaker state.
+func (c *Coordinator) registerFuncMetrics() {
+	reg := c.tm.reg
+	if reg == nil {
+		return
+	}
+	counter := func(name, help string, v interface{ Load() int64 }) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("gesmc_cluster_routed_owner_total", "Requests served by their key's ring owner.", &c.routedOwner)
+	counter("gesmc_cluster_routed_replica_total", "Requests served by a hot-key replica.", &c.routedReplica)
+	counter("gesmc_cluster_routed_spill_total", "Requests spilled to a non-owner.", &c.routedSpill)
+	counter("gesmc_cluster_midstream_failovers_total", "Mid-stream failures transparently failed over.", &c.midstreamFailovers)
+	counter("gesmc_cluster_midstream_failures_total", "Streams terminated in-band after exhausting failover.", &c.midstream)
+	counter("gesmc_cluster_evictions_total", "Shard breaker trips (alive → evicted).", &c.evictions)
+	counter("gesmc_cluster_revivals_total", "Shard breaker re-admissions (evicted → alive).", &c.revivals)
+	counter("gesmc_cluster_requests_failed_total", "Coordinated requests that terminated with an error.", &c.failed)
+	counter("gesmc_cluster_samples_total", "Sample lines streamed through the coordinator.", &c.samples)
+	reg.GaugeFunc("gesmc_started_at_seconds", "Process start, Unix seconds.",
+		func() float64 { return float64(c.start.UnixMilli()) / 1e3 })
+	reg.LabeledFunc("gesmc_cluster_shard_inflight", "Streams currently routed through each shard.", "gauge",
+		func(emit func(string, float64)) {
+			for _, sh := range c.shards {
+				emit(telemetry.Labels("shard", sh.id), float64(sh.inflight.Load()))
+			}
+		})
+	reg.LabeledFunc("gesmc_cluster_shard_requests_total", "Attempts routed to each shard.", "counter",
+		func(emit func(string, float64)) {
+			for _, sh := range c.shards {
+				emit(telemetry.Labels("shard", sh.id), float64(sh.requests.Load()))
+			}
+		})
+	reg.LabeledFunc("gesmc_cluster_shard_errors_total", "Failed attempts per shard.", "counter",
+		func(emit func(string, float64)) {
+			for _, sh := range c.shards {
+				emit(telemetry.Labels("shard", sh.id), float64(sh.errors.Load()))
+			}
+		})
+	reg.LabeledFunc("gesmc_cluster_breaker_state",
+		"Circuit-breaker state per shard, one-hot over {closed, open, half_open}.", "gauge",
+		func(emit func(string, float64)) {
+			for _, sh := range c.shards {
+				state := sh.brk.stateName()
+				for _, s := range []string{"closed", "open", "half_open"} {
+					v := 0.0
+					if s == state {
+						v = 1
+					}
+					emit(telemetry.Labels("shard", sh.id, "state", s), v)
+				}
+			}
+		})
+}
+
+// WritePrometheus renders the coordinator's metric families; false
+// means telemetry is disabled (serve the JSON document instead).
+func (c *Coordinator) WritePrometheus(w io.Writer) bool {
+	if c.tm.reg == nil {
+		return false
+	}
+	c.tm.reg.WritePrometheus(w)
+	return true
+}
+
+// TraceDump returns the stored spans of one coordinated request trace.
+func (c *Coordinator) TraceDump(id string) ([]telemetry.SpanDump, bool) {
+	return c.tm.trc.Dump(id)
+}
+
+// Tracer exposes the coordinator's tracer so the HTTP layer can join
+// traces propagated by upstream tiers.
+func (c *Coordinator) Tracer() *telemetry.Tracer {
+	return c.tm.trc
+}

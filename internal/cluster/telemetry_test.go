@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gesmc/internal/faultinject"
+	"gesmc/wire"
+)
+
+// TestFailoverStreamOneCoherentTrace is the tracing acceptance gate: a
+// coordinated stream that fails over mid-flight still yields ONE trace
+// — every line (from both shards) stamped with the same trace ID, and
+// the coordinator's span dump covering both shard attempts plus the
+// splice between them.
+func TestFailoverStreamOneCoherentTrace(t *testing.T) {
+	c := testCoordinator(t, Config{}, testShard(t, "shard-0"), testShard(t, "shard-1"))
+	req := seedOwnedBy(t, c, 0, wire.SampleRequest{Degrees: []int{4, 3, 3, 2, 2, 2, 1, 1}, Samples: 6, Workers: 2})
+	faultinject.Enable(faultinject.Fault{Point: faultinject.ServerStream, Mode: faultinject.Cut, AfterLines: 3, Hits: 1})
+	defer faultinject.Reset()
+
+	lines, err := collectErr(c, &req)
+	if err != nil {
+		t.Fatalf("chaos stream err=%v, want transparent failover", err)
+	}
+	if len(lines) != 6 {
+		t.Fatalf("%d lines, want 6", len(lines))
+	}
+	traceID := lines[0].Stats.TraceID
+	if traceID == "" {
+		t.Fatal("no trace ID on first line")
+	}
+	for i, ln := range lines {
+		if ln.Stats == nil || ln.Stats.TraceID != traceID {
+			t.Fatalf("line %d: trace ID %q, want %q on every line across the failover", i, ln.Stats.TraceID, traceID)
+		}
+	}
+
+	spans, ok := c.TraceDump(traceID)
+	if !ok {
+		t.Fatalf("coordinator has no spans for trace %s", traceID)
+	}
+	attempts := map[string]bool{} // shard attr → seen
+	var sawRoute, sawSplice bool
+	for _, s := range spans {
+		switch s.Name {
+		case "coordinator.route":
+			sawRoute = true
+		case "shard.attempt":
+			attempts[s.Attrs["shard"]] = true
+		case "coordinator.splice":
+			sawSplice = true
+			if s.Attrs["from"] != "shard-0" || s.Attrs["to"] != "shard-1" || s.Attrs["cursor"] != "3" {
+				t.Fatalf("splice span attrs: %+v", s.Attrs)
+			}
+		}
+	}
+	if !sawRoute || !sawSplice || !attempts["shard-0"] || !attempts["shard-1"] {
+		t.Fatalf("trace incomplete: route=%v splice=%v attempts=%v (spans: %+v)",
+			sawRoute, sawSplice, attempts, spans)
+	}
+
+	// A second stream gets its own trace: IDs are per-request.
+	req2 := req
+	req2.Seed++
+	lines2, err := collectErr(c, &req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines2[0].Stats.TraceID == traceID {
+		t.Fatalf("second stream reused trace ID %s", traceID)
+	}
+}
+
+// TestBreakerTransitionsLoggedAndCounted: tripping and reviving a
+// shard's breaker emits structured log lines naming the shard and the
+// destination state, and increments the labeled transition counter in
+// the Prometheus exposition — the events were previously silent.
+func TestBreakerTransitionsLoggedAndCounted(t *testing.T) {
+	var logBuf bytes.Buffer
+	// A shard whose health endpoint always answers 503: the first probe
+	// trips its breaker.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	dead := httptest.NewServer(mux)
+	t.Cleanup(dead.Close)
+	live := testShard(t, "shard-1")
+	c := testCoordinator(t, Config{
+		BreakerCooldown: time.Nanosecond,
+		Logger:          slog.New(slog.NewTextHandler(&logBuf, nil)),
+	}, dead, live)
+
+	c.CheckHealth(context.Background()) // probe failure trips shard-0: closed → open
+	out := logBuf.String()
+	if !strings.Contains(out, "breaker transition") ||
+		!strings.Contains(out, "shard=shard-0") ||
+		!strings.Contains(out, "to=open") {
+		t.Fatalf("trip not logged:\n%s", out)
+	}
+
+	var prom bytes.Buffer
+	if !c.WritePrometheus(&prom) {
+		t.Fatal("telemetry unexpectedly disabled")
+	}
+	text := prom.String()
+	if !strings.Contains(text, `gesmc_cluster_breaker_transitions_total{shard="shard-0",to="open"} 1`) {
+		t.Fatalf("transition counter missing:\n%s", text)
+	}
+	if !strings.Contains(text, `gesmc_cluster_breaker_state{shard="shard-0",state="open"} 1`) ||
+		!strings.Contains(text, `gesmc_cluster_breaker_state{shard="shard-1",state="closed"} 1`) {
+		t.Fatalf("breaker state gauges wrong:\n%s", text)
+	}
+}

@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 
+	"gesmc/internal/telemetry"
 	"gesmc/wire"
 )
 
@@ -53,6 +55,19 @@ func (b *LocalBackend) Health(context.Context) (wire.Health, error) { return b.s
 
 // Metrics snapshots the wrapped service's counters.
 func (b *LocalBackend) Metrics(context.Context) (wire.Metrics, error) { return b.svc.Metrics(), nil }
+
+// WritePrometheus forwards the service's Prometheus exposition (the
+// handler's content-negotiation hook).
+func (b *LocalBackend) WritePrometheus(w io.Writer) bool { return b.svc.WritePrometheus(w) }
+
+// TraceDump forwards the service's span store (the /v1/trace hook).
+func (b *LocalBackend) TraceDump(id string) ([]telemetry.SpanDump, bool) {
+	return b.svc.TraceDump(id)
+}
+
+// Tracer forwards the service's tracer so the HTTP layer can join
+// propagated traces.
+func (b *LocalBackend) Tracer() *telemetry.Tracer { return b.svc.Tracer() }
 
 // BackendError marks a backend transport failure — unreachable peer,
 // connection reset mid-stream, malformed response — as opposed to an

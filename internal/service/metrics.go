@@ -47,6 +47,7 @@ func (m *serviceMetrics) snapshot(sched *scheduler, pool *enginePool) wire.Metri
 		SuperstepsTotal:  m.superstepsTotal.Load(),
 		SwitchesTotal:    m.switchesTotal.Load(),
 		UptimeMS:         uptime.Milliseconds(),
+		StartedAtMS:      m.start.UnixMilli(),
 	}
 	if secs := uptime.Seconds(); secs > 0 {
 		out.SuperstepsPerSec = float64(out.SuperstepsTotal) / secs

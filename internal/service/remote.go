@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gesmc/internal/faultinject"
+	"gesmc/internal/telemetry"
 	"gesmc/wire"
 )
 
@@ -34,6 +35,11 @@ type RemoteBackend struct {
 	base   string
 	client *http.Client
 	retry  RetryPolicy
+
+	// Telemetry instruments (nil no-ops): roundTrip observes each
+	// backend request's wall time, backoff the retry sleeps.
+	roundTrip *telemetry.Histogram
+	backoff   *telemetry.Histogram
 }
 
 // defaultClient builds the client used when NewRemoteBackend is handed
@@ -85,6 +91,15 @@ func (b *RemoteBackend) WithRetry(p RetryPolicy) *RemoteBackend {
 
 // URL returns the backend's base URL.
 func (b *RemoteBackend) URL() string { return b.base }
+
+// WithMetrics attaches round-trip and retry-backoff histograms (either
+// may be nil) and returns the backend for chaining. The cluster
+// coordinator registers these in its own registry, one shared family
+// across shards.
+func (b *RemoteBackend) WithMetrics(roundTrip, backoff *telemetry.Histogram) *RemoteBackend {
+	b.roundTrip, b.backoff = roundTrip, backoff
+	return b
+}
 
 // remoteError is a backend-reported application error resurrected as
 // its typed sentinel, preserving the backend's message.
@@ -189,7 +204,9 @@ func (b *RemoteBackend) Sample(ctx context.Context, req *wire.SampleRequest, emi
 		if attempt >= b.retry.MaxAttempts {
 			return err
 		}
-		if serr := b.retry.sleep(ctx, attempt); serr != nil {
+		d := b.retry.delay(attempt)
+		b.backoff.ObserveDuration(d)
+		if serr := sleepFor(ctx, d); serr != nil {
 			return err
 		}
 	}
@@ -214,6 +231,15 @@ func (b *RemoteBackend) sampleOnce(ctx context.Context, req *wire.SampleRequest,
 		return &BackendError{Backend: b.base, Op: "request", Err: err}
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's trace position so the backend's spans and
+	// line stamps extend the same trace (the coordinator→shard leg of a
+	// coordinated request's single coherent trace).
+	if hv := telemetry.HeaderValue(ctx); hv != "" {
+		hreq.Header.Set(telemetry.TraceHeader, hv)
+	}
+	if b.roundTrip != nil {
+		defer func(t0 time.Time) { b.roundTrip.ObserveDuration(time.Since(t0)) }(time.Now())
+	}
 	resp, err := b.client.Do(hreq)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -277,6 +303,9 @@ func (b *RemoteBackend) getJSON(ctx context.Context, path, op string, out any) e
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
 	if err != nil {
 		return &BackendError{Backend: b.base, Op: op, Err: err}
+	}
+	if b.roundTrip != nil {
+		defer func(t0 time.Time) { b.roundTrip.ObserveDuration(time.Since(t0)) }(time.Now())
 	}
 	resp, err := b.client.Do(hreq)
 	if err != nil {

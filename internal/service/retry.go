@@ -60,7 +60,14 @@ func (p RetryPolicy) delay(n int) time.Duration {
 
 // sleep waits out the backoff, aborting early on context cancellation.
 func (p RetryPolicy) sleep(ctx context.Context, n int) error {
-	t := time.NewTimer(p.delay(n))
+	return sleepFor(ctx, p.delay(n))
+}
+
+// sleepFor waits out d, aborting early on context cancellation. Split
+// from sleep so callers that observe the delay (backoff histograms)
+// compute it once.
+func sleepFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

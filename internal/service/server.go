@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strings"
 
 	"gesmc/internal/faultinject"
+	"gesmc/internal/telemetry"
 	"gesmc/wire"
 )
 
@@ -24,10 +27,41 @@ func NewHandler(svc *Service) http.Handler {
 	return NewBackendHandler(NewLocalBackend(svc))
 }
 
+// Optional Backend capabilities, asserted by the handler: a backend
+// with telemetry additionally serves Prometheus text on /v1/metrics
+// (content-negotiated), span dumps on /v1/trace, and joins upstream
+// traces propagated in the telemetry.TraceHeader.
+type (
+	// promBackend renders Prometheus text exposition; false means
+	// telemetry is disabled and the JSON document should serve instead.
+	promBackend interface {
+		WritePrometheus(w io.Writer) bool
+	}
+	// traceBackend dumps one stored trace by %016x ID.
+	traceBackend interface {
+		TraceDump(id string) ([]telemetry.SpanDump, bool)
+	}
+	// tracerBackend exposes the tracer used to join propagated traces.
+	tracerBackend interface {
+		Tracer() *telemetry.Tracer
+	}
+)
+
+// wantsPrometheus reports whether the Accept header asks for text
+// exposition rather than the default JSON document.
+func wantsPrometheus(accept string) bool {
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 // NewBackendHandler serves the same HTTP API over any Backend: a
 // LocalBackend for the plain daemon, a cluster coordinator for the
 // front tier. The transport is identical either way — that is what
 // lets coordinators stack in front of daemons transparently.
+//
+// Backends with telemetry get two extensions: GET /v1/metrics answers
+// Prometheus text exposition when the request Accepts text/plain (the
+// JSON body is unchanged and stays the default), and GET /v1/trace?id=
+// dumps a request trace's spans.
 func NewBackendHandler(b Backend) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sample", func(w http.ResponseWriter, r *http.Request) {
@@ -55,12 +89,39 @@ func NewBackendHandler(b Backend) http.Handler {
 		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if pb, ok := b.(promBackend); ok && wantsPrometheus(r.Header.Get("Accept")) {
+			var buf strings.Builder
+			if pb.WritePrometheus(&buf) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+				w.WriteHeader(http.StatusOK)
+				io.WriteString(w, buf.String())
+				return
+			}
+			// Telemetry disabled: fall through to the JSON document.
+		}
 		m, err := b.Metrics(r.Context())
 		if err != nil {
 			writeJSON(w, statusFor(err), wire.Error{Error: err.Error(), Code: errCode(err)})
 			return
 		}
 		writeJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		tb, ok := b.(traceBackend)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, wire.Error{Error: "tracing not supported by this backend", Code: "not_found"})
+			return
+		}
+		id := r.URL.Query().Get("id")
+		spans, ok := tb.TraceDump(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, wire.Error{Error: "unknown, evicted, or malformed trace id", Code: "not_found"})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			TraceID string               `json:"trace_id"`
+			Spans   []telemetry.SpanDump `json:"spans"`
+		}{TraceID: id, Spans: spans})
 	})
 	return mux
 }
@@ -115,6 +176,16 @@ func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Join a propagated upstream trace (coordinator→shard) so the spans
+	// this request produces — and the trace ID stamped into its lines —
+	// extend the caller's trace instead of starting a fresh one.
+	ctx := r.Context()
+	if tb, ok := b.(tracerBackend); ok {
+		if trace, parent, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
+			ctx = tb.Tracer().Join(ctx, trace, parent)
+		}
+	}
+
 	// The NDJSON stream: headers go out with the first line, so
 	// pre-stream failures (overload, infeasible degree sequence) still
 	// get a proper status code. After the first line the status is
@@ -125,7 +196,7 @@ func handleSample(b Backend, w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	streaming := false
 	written := 0
-	err := b.Sample(r.Context(), &wreq, func(ln wire.Line) error {
+	err := b.Sample(ctx, &wreq, func(ln wire.Line) error {
 		if cut != nil && cut.Mode == faultinject.Cut && written >= cut.AfterLines && cut.Spend() {
 			return errInjectedCut
 		}

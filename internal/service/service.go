@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"gesmc"
+	"gesmc/internal/telemetry"
 	"gesmc/wire"
 )
 
@@ -33,6 +35,15 @@ type Config struct {
 	// closes its own sampler); it exists because PoolCapacity == 0
 	// means "default".
 	NoPooling bool
+	// NoTelemetry disables tracing, latency histograms, and the
+	// Prometheus exposition (GET /v1/metrics keeps its JSON view).
+	// Telemetry is on by default — the benched overhead budget is ≤3%
+	// ns/switch — so the knob exists for benchmark baselines and
+	// minimal embeddings.
+	NoTelemetry bool
+	// Logger receives structured request logs (one line per request,
+	// with trace IDs). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +72,7 @@ type Service struct {
 	sched *scheduler
 	pool  *enginePool
 	met   serviceMetrics
+	tm    *svcTelemetry
 
 	mu       sync.Mutex
 	closing  bool
@@ -71,13 +83,16 @@ type Service struct {
 // New builds a Service from cfg (zero value = defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		sched:   newScheduler(cfg.WorkerBudget, cfg.QueueLimit),
 		pool:    newEnginePool(cfg.PoolCapacity),
 		met:     serviceMetrics{start: time.Now()},
+		tm:      newSvcTelemetry(!cfg.NoTelemetry, cfg.Logger),
 		drained: make(chan struct{}),
 	}
+	s.registerFuncMetrics()
+	return s
 }
 
 // begin registers an in-flight job, refusing new work once Shutdown
@@ -153,8 +168,59 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		defer cancel()
 	}
 
+	// Root span: extends a joined upstream trace (coordinator→shard
+	// header) or starts a fresh one. Its trace ID is stamped into every
+	// streamed line.
+	ctx, span := s.tm.trc.StartSpan(ctx, "service.sample")
+	span.SetAttr("algorithm", req.Algorithm.String())
+	span.SetInt("samples", int64(req.Samples))
+	start := time.Now()
+	err := s.sample(ctx, req, emit, telemetry.TraceIDString(ctx))
+	dur := time.Since(start)
+	s.tm.requestDur.Observe(dur.Seconds())
+	if err != nil {
+		span.SetAttr("error", errCode(err))
+	}
+	span.End()
+	s.tm.log.LogAttrs(ctx, requestLogLevel(err), "sample request",
+		slog.String("trace", telemetry.TraceIDString(ctx)),
+		slog.String("backend", s.cfg.ID),
+		slog.String("algorithm", req.Algorithm.String()),
+		slog.Int("samples", req.Samples),
+		slog.Int("resume_from", req.ResumeFrom),
+		slog.Duration("duration", dur),
+		slog.String("code", errCodeOrOK(err)))
+	return err
+}
+
+// requestLogLevel maps a request outcome to its log level: client-side
+// outcomes (success, cancellation, bad request) log at Info, server
+// faults at Warn.
+func requestLogLevel(err error) slog.Level {
+	switch {
+	case err == nil, errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrBadRequest):
+		return slog.LevelInfo
+	default:
+		return slog.LevelWarn
+	}
+}
+
+func errCodeOrOK(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return errCode(err)
+}
+
+// sample runs the admitted, validated request; traceID is stamped into
+// every streamed line.
+func (s *Service) sample(ctx context.Context, req *Request, emit func(wire.Line) error, traceID string) error {
 	// Admission: FIFO behind earlier jobs, bounded waiting line.
+	_, qspan := s.tm.trc.StartSpan(ctx, "queue.wait")
+	qstart := time.Now()
 	if err := s.sched.acquire(ctx, req.Workers); err != nil {
+		qspan.End()
 		if errors.Is(err, ErrOverloaded) {
 			s.met.requestsRejected.Add(1)
 		} else {
@@ -162,6 +228,8 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		}
 		return err
 	}
+	qspan.End()
+	s.tm.queueWait.Observe(time.Since(qstart).Seconds())
 	defer s.sched.release(req.Workers)
 	s.met.requestsTotal.Add(1)
 	s.met.requestsInflight.Add(1)
@@ -171,12 +239,24 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 	// compilation entirely.
 	key := req.engineKey()
 	sampler, hit := s.pool.checkout(key)
+	_, cospan := s.tm.trc.StartSpan(ctx, "pool.checkout")
+	if hit {
+		cospan.SetAttr("outcome", "hit")
+	} else {
+		cospan.SetAttr("outcome", "miss")
+	}
+	cospan.End()
 	if hit && req.ResumeFrom > 0 {
 		// A resumed stream must be the canonical chain suffix, so the
 		// pooled engine has to fast-forward to the resume point. A
 		// chain that already overshot it (it served a longer stream)
 		// cannot rewind — return it and compile a fresh chain below.
-		if _, err := sampler.FastForwardTo(ctx, req.ResumeFrom); err != nil {
+		_, ffspan := s.tm.trc.StartSpan(ctx, "pool.fast_forward")
+		ffspan.SetInt("to", int64(req.ResumeFrom))
+		s.tm.fastForwards.Inc()
+		_, err := sampler.FastForwardTo(ctx, req.ResumeFrom)
+		ffspan.End()
+		if err != nil {
 			s.pool.checkin(key, sampler)
 			if !errors.Is(err, gesmc.ErrResumeBehind) {
 				// Cancellation mid-fast-forward: the chain stopped at a
@@ -188,12 +268,15 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		}
 	}
 	if !hit {
+		_, cspan := s.tm.trc.StartSpan(ctx, "engine.compile")
 		target, err := req.buildTarget()
 		if err != nil {
+			cspan.End()
 			s.met.requestsFailed.Add(1)
 			return err
 		}
 		sampler, err = gesmc.NewSampler(target, req.samplerOptions()...)
+		cspan.End()
 		if err != nil {
 			s.met.requestsFailed.Add(1)
 			if errors.Is(err, gesmc.ErrExactUnsupported) {
@@ -208,7 +291,11 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		if req.ResumeFrom > 0 {
 			// Fresh chain: burn-in + ResumeFrom·thinning supersteps
 			// reconstruct the stream position deterministically.
-			if _, err := sampler.FastForwardTo(ctx, req.ResumeFrom); err != nil {
+			_, ffspan := s.tm.trc.StartSpan(ctx, "pool.fast_forward")
+			ffspan.SetInt("to", int64(req.ResumeFrom))
+			_, err := sampler.FastForwardTo(ctx, req.ResumeFrom)
+			ffspan.End()
+			if err != nil {
 				s.pool.checkin(key, sampler)
 				s.met.requestsFailed.Add(1)
 				return err
@@ -227,6 +314,7 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 	var terminal error
 	delivered := 0
 	resume := req.ResumeFrom
+	_, stspan := s.tm.trc.StartSpan(ctx, "engine.stream")
 	for smp := range sampler.Ensemble(cctx, req.Samples-resume) {
 		if terminal != nil {
 			continue // draining after a terminal error
@@ -240,16 +328,24 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 			// there retries it.
 			if delivered > 0 {
 				idx := smp.Index + resume
-				emit(wire.Line{Index: idx, Cursor: idx, Error: smp.Err.Error(), Code: errCode(smp.Err)})
+				emit(wire.Line{Index: idx, Cursor: idx, Error: smp.Err.Error(),
+					Code: errCode(smp.Err), TraceID: traceID})
 			}
 			continue
 		}
 		s.met.observeSample(smp.Stats.Supersteps, smp.Stats.Attempted)
+		s.tm.sampleDur.Observe(smp.Stats.Duration.Seconds())
+		s.tm.firstRound.Observe(smp.Stats.FirstRoundTime.Seconds())
+		s.tm.laterRounds.Observe(smp.Stats.LaterRoundsTime.Seconds())
+		s.tm.exactRestarts.Add(smp.Stats.Restarts)
 		ln := wire.FromSample(smp)
 		// Index is absolute within the requested ensemble; a resumed
 		// stream numbers its lines as the suffix of the original.
 		ln.Index += resume
 		ln.Cursor = ln.Index + 1
+		if ln.Stats != nil {
+			ln.Stats.TraceID = traceID
+		}
 		if s.cfg.ID != "" && ln.Stats != nil {
 			ln.Stats.Backend = s.cfg.ID
 		}
@@ -260,6 +356,8 @@ func (s *Service) Sample(ctx context.Context, req *Request, emit func(wire.Line)
 		}
 		delivered++
 	}
+	stspan.SetInt("delivered", int64(delivered))
+	stspan.End()
 	if terminal != nil {
 		s.met.requestsFailed.Add(1)
 	}

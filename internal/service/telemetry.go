@@ -1,0 +1,116 @@
+package service
+
+import (
+	"io"
+	"log/slog"
+
+	"gesmc/internal/telemetry"
+)
+
+// svcTelemetry bundles the service's observability instruments. Every
+// instrument is nil when telemetry is disabled (Config.NoTelemetry),
+// and nil instruments no-op, so the hot path never branches on an
+// enabled flag.
+type svcTelemetry struct {
+	reg *telemetry.Registry
+	trc *telemetry.Tracer
+	log *slog.Logger
+
+	// Latency histograms (seconds, LatencyBuckets):
+	queueWait   *telemetry.Histogram // admission to budget grant
+	sampleDur   *telemetry.Histogram // engine wall time per streamed sample
+	firstRound  *telemetry.Histogram // kernel phase: first rounds, per sample
+	laterRounds *telemetry.Histogram // kernel phase: conflict-resolution rounds
+	requestDur  *telemetry.Histogram // whole request, admission to last line
+
+	fastForwards  *telemetry.Counter // pooled-engine resume fast-forwards
+	exactRestarts *telemetry.Counter // exact-tier rejected configurations
+}
+
+func newSvcTelemetry(enabled bool, logger *slog.Logger) *svcTelemetry {
+	tm := &svcTelemetry{log: telemetry.Logger(logger)}
+	if !enabled {
+		return tm
+	}
+	tm.reg = telemetry.NewRegistry()
+	tm.trc = telemetry.NewTracer()
+	b := telemetry.LatencyBuckets
+	tm.queueWait = tm.reg.Histogram("gesmc_queue_wait_seconds",
+		"Time sampling requests wait for worker-budget tokens.", b)
+	tm.sampleDur = tm.reg.Histogram("gesmc_sample_seconds",
+		"Engine wall time per streamed sample.", b)
+	tm.firstRound = tm.reg.Histogram("gesmc_superstep_first_round_seconds",
+		"Kernel phase time per sample: first dependency-free rounds.", b)
+	tm.laterRounds = tm.reg.Histogram("gesmc_superstep_later_rounds_seconds",
+		"Kernel phase time per sample: conflict-resolution rounds after the first.", b)
+	tm.requestDur = tm.reg.Histogram("gesmc_request_seconds",
+		"Whole-request latency, admission through last streamed line.", b)
+	tm.fastForwards = tm.reg.Counter("gesmc_pool_fast_forwards_total",
+		"Pooled engines fast-forwarded to a resume cursor.")
+	tm.exactRestarts = tm.reg.Counter("gesmc_exact_restarts_total",
+		"Exact-tier configurations rejected for a defect and regenerated.")
+	return tm
+}
+
+// registerFuncMetrics exposes the counters the service already keeps
+// (request/queue/pool atomics) as scrape-time func metrics, so the JSON
+// and Prometheus views of /v1/metrics read the same state with no
+// double bookkeeping.
+func (s *Service) registerFuncMetrics() {
+	reg := s.tm.reg
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("gesmc_requests_total", "Accepted sampling requests.",
+		func() float64 { return float64(s.met.requestsTotal.Load()) })
+	reg.GaugeFunc("gesmc_requests_inflight", "Requests currently executing.",
+		func() float64 { return float64(s.met.requestsInflight.Load()) })
+	reg.CounterFunc("gesmc_requests_rejected_total", "Admission-control rejections.",
+		func() float64 { return float64(s.met.requestsRejected.Load()) })
+	reg.CounterFunc("gesmc_requests_failed_total", "Requests terminated by an error.",
+		func() float64 { return float64(s.met.requestsFailed.Load()) })
+	reg.GaugeFunc("gesmc_queue_depth", "Requests waiting for worker-budget tokens.",
+		func() float64 { return float64(s.sched.depth.Load()) })
+	reg.GaugeFunc("gesmc_worker_budget", "Global worker budget.",
+		func() float64 { return float64(s.sched.budget) })
+	reg.GaugeFunc("gesmc_workers_busy", "Worker-budget tokens currently held.",
+		func() float64 { return float64(s.sched.busy.Load()) })
+	reg.CounterFunc("gesmc_samples_total", "Streamed sample lines.",
+		func() float64 { return float64(s.met.samplesTotal.Load()) })
+	reg.CounterFunc("gesmc_supersteps_total", "Supersteps run across all requests.",
+		func() float64 { return float64(s.met.superstepsTotal.Load()) })
+	reg.CounterFunc("gesmc_switches_total", "Switches attempted across all requests.",
+		func() float64 { return float64(s.met.switchesTotal.Load()) })
+	reg.GaugeFunc("gesmc_pool_engines", "Idle compiled samplers pooled.",
+		func() float64 { return float64(s.pool.metrics().Engines) })
+	reg.CounterFunc("gesmc_pool_hits_total", "Checkouts that reused a pooled engine.",
+		func() float64 { return float64(s.pool.metrics().Hits) })
+	reg.CounterFunc("gesmc_pool_misses_total", "Checkouts that compiled a fresh engine.",
+		func() float64 { return float64(s.pool.metrics().Misses) })
+	reg.CounterFunc("gesmc_pool_evictions_total", "Pooled engines closed by LRU eviction.",
+		func() float64 { return float64(s.pool.metrics().Evictions) })
+	reg.GaugeFunc("gesmc_started_at_seconds", "Process start, Unix seconds.",
+		func() float64 { return float64(s.met.start.UnixMilli()) / 1e3 })
+}
+
+// WritePrometheus renders the service's metric families in Prometheus
+// text exposition format; false means telemetry is disabled and the
+// caller should fall back to the JSON document.
+func (s *Service) WritePrometheus(w io.Writer) bool {
+	if s.tm.reg == nil {
+		return false
+	}
+	s.tm.reg.WritePrometheus(w)
+	return true
+}
+
+// TraceDump returns the stored spans of one request trace, by %016x ID.
+func (s *Service) TraceDump(id string) ([]telemetry.SpanDump, bool) {
+	return s.tm.trc.Dump(id)
+}
+
+// Tracer exposes the service's tracer (nil when disabled) so the HTTP
+// layer can join a propagated upstream trace before calling Sample.
+func (s *Service) Tracer() *telemetry.Tracer {
+	return s.tm.trc
+}

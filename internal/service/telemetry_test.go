@@ -1,0 +1,290 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gesmc/internal/telemetry"
+	"gesmc/wire"
+)
+
+// TestTelemetryConcurrentStreamConsistency is the metrics-snapshot
+// consistency gate: N concurrent streams later, the latency histograms
+// must agree exactly with the request/sample counters (one queue-wait
+// observation per admitted request, one duration observation per
+// streamed sample), every line must carry its request's trace ID, and
+// the N trace IDs must be distinct.
+func TestTelemetryConcurrentStreamConsistency(t *testing.T) {
+	const requests = 8
+	const samples = 3
+	svc := New(Config{WorkerBudget: 4, PoolCapacity: 4})
+	defer svc.Shutdown(context.Background())
+	b := NewLocalBackend(svc)
+
+	var mu sync.Mutex
+	traceOf := make(map[int]string) // request index → its (single) trace ID
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: samples, Seed: uint64(100 + i), Workers: 1}
+			lines, err := collect(b, req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			for j, ln := range lines {
+				if ln.Stats == nil || ln.Stats.TraceID == "" {
+					t.Errorf("request %d line %d: no trace ID: %+v", i, j, ln.Stats)
+					return
+				}
+				mu.Lock()
+				if prev, ok := traceOf[i]; ok && prev != ln.Stats.TraceID {
+					t.Errorf("request %d: trace ID changed mid-stream: %s vs %s", i, prev, ln.Stats.TraceID)
+				}
+				traceOf[i] = ln.Stats.TraceID
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	for i, id := range traceOf {
+		if seen[id] {
+			t.Fatalf("request %d: trace ID %s reused across streams", i, id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != requests {
+		t.Fatalf("%d distinct trace IDs, want %d", len(seen), requests)
+	}
+
+	// Histogram counts must agree with the counters the JSON metrics
+	// already expose: no lost or double observations under concurrency.
+	m := svc.Metrics()
+	if m.RequestsTotal != requests {
+		t.Fatalf("requests_total=%d, want %d", m.RequestsTotal, requests)
+	}
+	if got := svc.tm.queueWait.Count(); got != requests {
+		t.Fatalf("queue-wait histogram count=%d, want one per request (%d)", got, requests)
+	}
+	if got := svc.tm.requestDur.Count(); got != requests {
+		t.Fatalf("request-duration histogram count=%d, want %d", got, requests)
+	}
+	if got := svc.tm.sampleDur.Count(); got != requests*samples {
+		t.Fatalf("sample-duration histogram count=%d, want one per sample (%d)", got, requests*samples)
+	}
+	if got := svc.tm.firstRound.Count(); got != requests*samples {
+		t.Fatalf("first-round histogram count=%d, want %d", got, requests*samples)
+	}
+}
+
+// TestMetricsContentNegotiation pins the /v1/metrics contract: JSON by
+// default (unchanged shape, now with started_at_ms), Prometheus text
+// exposition under "Accept: text/plain", and a clean JSON fallback when
+// telemetry is disabled.
+func TestMetricsContentNegotiation(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	resp := postSample(t, ts.URL, wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 2, Seed: 5, Workers: 1})
+	decodeAll(t, resp.Body)
+	resp.Body.Close()
+
+	// Default: JSON, as before.
+	var m wire.Metrics
+	jr, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := jr.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default content type %q, want JSON", ct)
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if m.RequestsTotal != 1 || m.StartedAtMS <= 0 {
+		t.Fatalf("JSON metrics: requests_total=%d started_at_ms=%d", m.RequestsTotal, m.StartedAtMS)
+	}
+
+	// Negotiated: Prometheus text exposition with the histogram series.
+	preq, _ := http.NewRequest("GET", ts.URL+"/v1/metrics", nil)
+	preq.Header.Set("Accept", "text/plain")
+	pr, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, pr)
+	if ct := pr.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("negotiated content type %q", ct)
+	}
+	for _, want := range []string{
+		`gesmc_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"gesmc_superstep_first_round_seconds_bucket",
+		"gesmc_superstep_later_rounds_seconds_count 2",
+		"gesmc_requests_total 1",
+		"gesmc_samples_total 2",
+		"gesmc_started_at_seconds",
+		"# TYPE gesmc_queue_wait_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Telemetry off: the same Accept header falls back to JSON.
+	svcOff := New(Config{WorkerBudget: 2, NoTelemetry: true})
+	tsOff := httptest.NewServer(NewHandler(svcOff))
+	defer tsOff.Close()
+	defer svcOff.Shutdown(context.Background())
+	oreq, _ := http.NewRequest("GET", tsOff.URL+"/v1/metrics", nil)
+	oreq.Header.Set("Accept", "text/plain")
+	or, err := http.DefaultClient.Do(oreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer or.Body.Close()
+	if ct := or.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("disabled-telemetry content type %q, want JSON fallback", ct)
+	}
+	var moff wire.Metrics
+	if err := json.NewDecoder(or.Body).Decode(&moff); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceEndpoint drives a request over HTTP and retrieves its span
+// dump via /v1/trace: the trace ID stamped on the streamed lines must
+// resolve to the request's span tree, and unknown IDs must 404 with a
+// typed error body.
+func TestTraceEndpoint(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	resp := postSample(t, ts.URL, wire.SampleRequest{Degrees: []int{3, 2, 2, 1}, Samples: 2, Seed: 3, Workers: 1})
+	lines := decodeAll(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 2 || lines[0].Stats == nil || lines[0].Stats.TraceID == "" {
+		t.Fatalf("no trace ID on streamed lines: %+v", lines)
+	}
+	traceID := lines[0].Stats.TraceID
+
+	tr, err := http.Get(ts.URL + "/v1/trace?id=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tr.StatusCode)
+	}
+	var dump struct {
+		TraceID string               `json:"trace_id"`
+		Spans   []telemetry.SpanDump `json:"spans"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if dump.TraceID != traceID {
+		t.Fatalf("dump trace ID %s, want %s", dump.TraceID, traceID)
+	}
+	names := make(map[string]telemetry.SpanDump)
+	var root telemetry.SpanDump
+	for _, s := range dump.Spans {
+		names[s.Name] = s
+		if s.ParentID == "" {
+			root = s
+		}
+	}
+	for _, want := range []string{"service.sample", "queue.wait", "pool.checkout", "engine.stream"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("span %q missing from dump: %+v", want, dump.Spans)
+		}
+	}
+	if root.Name != "service.sample" {
+		t.Fatalf("root span %q, want service.sample", root.Name)
+	}
+	if names["queue.wait"].ParentID != root.SpanID {
+		t.Fatalf("queue.wait parent %s, want root %s", names["queue.wait"].ParentID, root.SpanID)
+	}
+	if got := names["engine.stream"].Attrs["delivered"]; got != "2" {
+		t.Fatalf("engine.stream delivered=%q, want 2", got)
+	}
+
+	// Unknown ID: 404 with the wire error shape.
+	nf, err := http.Get(ts.URL + "/v1/trace?id=00000000deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d, want 404", nf.StatusCode)
+	}
+	var we wire.Error
+	if err := json.NewDecoder(nf.Body).Decode(&we); err != nil || we.Code != "not_found" {
+		t.Fatalf("unknown trace body: %+v err=%v", we, err)
+	}
+}
+
+// TestTraceHeaderJoin: a request carrying X-Gesmc-Trace joins the
+// caller's trace instead of starting its own — the daemon's spans land
+// under the propagated trace ID with the propagated span as parent.
+// This is the propagation contract the coordinator relies on.
+func TestTraceHeaderJoin(t *testing.T) {
+	svc := New(Config{WorkerBudget: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	const upstream = "00000000cafed00d-00000000feedface"
+	body := jsonBody(t, wire.SampleRequest{Degrees: []int{2, 1, 1}, Samples: 1, Seed: 2, Workers: 1})
+	hreq, _ := http.NewRequest("POST", ts.URL+"/v1/sample", body)
+	hreq.Header.Set(telemetry.TraceHeader, upstream)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeAll(t, resp.Body)
+	resp.Body.Close()
+	if len(lines) != 1 || lines[0].Stats.TraceID != "00000000cafed00d" {
+		t.Fatalf("joined trace ID not stamped: %+v", lines[0].Stats)
+	}
+	spans, ok := svc.TraceDump("00000000cafed00d")
+	if !ok {
+		t.Fatal("joined trace not stored")
+	}
+	for _, s := range spans {
+		if s.Name == "service.sample" {
+			if s.ParentID != "00000000feedface" {
+				t.Fatalf("service.sample parent %s, want propagated span", s.ParentID)
+			}
+			return
+		}
+	}
+	t.Fatalf("service.sample span missing: %+v", spans)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

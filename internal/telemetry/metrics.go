@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the shared fixed-bucket policy for every latency
+// histogram in the stack: a 1-2.5-5 ladder from 1µs (a warm pool
+// checkout) to 60s (a large-graph burn-in), 24 bounds plus +Inf. One
+// policy everywhere keeps cross-histogram ratios (queue wait vs engine
+// time) directly comparable at scrape time.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds a process tier's metric families and renders them in
+// Prometheus text exposition format (version 0.0.4). Families expose in
+// registration order. A nil *Registry is the disabled tier: every
+// constructor returns a nil instrument whose methods no-op.
+type Registry struct {
+	mu      sync.Mutex
+	entries []exposer
+	names   map[string]bool
+}
+
+// exposer is one metric family's contribution to a scrape.
+type exposer interface {
+	expose(w *bufio.Writer)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(name string, e exposer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.names[name] = true
+	r.entries = append(r.entries, e)
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	entries := make([]exposer, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.expose(bw)
+	}
+	return bw.Flush()
+}
+
+func header(w *bufio.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Labels renders a label set for CounterVec.With and LabeledFunc emit
+// callbacks: Labels("shard", "a", "state", "open") → `shard="a",state="open"`.
+// Values are escaped per the exposition format.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("telemetry: Labels requires key/value pairs")
+	}
+	esc := strings.NewReplacer("\\", `\\`, "\n", `\n`, `"`, `\"`)
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(esc.Replace(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric. The zero-cost disabled
+// form is a nil pointer.
+type Counter struct {
+	name, help, labels string
+	v                  atomic.Int64
+}
+
+// Counter registers a counter family with one unlabeled series.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) expose(w *bufio.Writer) {
+	header(w, c.name, c.help, "counter")
+	if c.labels == "" {
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+	} else {
+		fmt.Fprintf(w, "%s{%s} %d\n", c.name, c.labels, c.v.Load())
+	}
+}
+
+// CounterVec is a counter family with one series per label set.
+type CounterVec struct {
+	name, help string
+
+	mu       sync.Mutex
+	children []*Counter
+	index    map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	v := &CounterVec{name: name, help: help, index: make(map[string]*Counter)}
+	r.register(name, v)
+	return v
+}
+
+// With returns the child counter for the rendered label set (use
+// Labels), creating it on first touch. Nil-safe.
+func (v *CounterVec) With(labels string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.index[labels]; ok {
+		return c
+	}
+	c := &Counter{name: v.name, labels: labels}
+	v.index[labels] = c
+	v.children = append(v.children, c)
+	return c
+}
+
+func (v *CounterVec) expose(w *bufio.Writer) {
+	v.mu.Lock()
+	children := make([]*Counter, len(v.children))
+	copy(children, v.children)
+	v.mu.Unlock()
+	header(w, v.name, v.help, "counter")
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	for _, c := range children {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, c.labels, c.v.Load())
+	}
+}
+
+// funcMetric exposes series computed at scrape time from state the
+// process already maintains (service atomics, pool snapshots, breaker
+// states) — no double bookkeeping on hot paths.
+type funcMetric struct {
+	name, help, typ string
+	collect         func(emit func(labels string, v float64))
+}
+
+func (f *funcMetric) expose(w *bufio.Writer) {
+	header(w, f.name, f.help, f.typ)
+	f.collect(func(labels string, v float64) {
+		if labels == "" {
+			fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(v))
+		} else {
+			fmt.Fprintf(w, "%s{%s} %s\n", f.name, labels, formatFloat(v))
+		}
+	})
+}
+
+// CounterFunc registers a counter whose single series is read at scrape
+// time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, &funcMetric{name: name, help: help, typ: "counter",
+		collect: func(emit func(string, float64)) { emit("", fn()) }})
+}
+
+// GaugeFunc registers a gauge whose single series is read at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, &funcMetric{name: name, help: help, typ: "gauge",
+		collect: func(emit func(string, float64)) { emit("", fn()) }})
+}
+
+// LabeledFunc registers a family (typ "counter" or "gauge") whose
+// series are enumerated at scrape time; collect calls emit once per
+// series with a Labels-rendered label set.
+func (r *Registry) LabeledFunc(name, help, typ string, collect func(emit func(labels string, v float64))) {
+	if r == nil {
+		return
+	}
+	r.register(name, &funcMetric{name: name, help: help, typ: typ, collect: collect})
+}
+
+// atomicFloat is a float64 with atomic add, for histogram sums.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds plus a bounded linear bucket scan — cheap enough for
+// per-sample hot paths. Bounds must be sorted ascending; the exposition
+// renders cumulative bucket counts per the Prometheus convention.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	sum        atomicFloat
+	count      atomic.Int64
+}
+
+// Histogram registers a histogram family with the given bucket upper
+// bounds (usually LatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one value (seconds, for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reads the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) expose(w *bufio.Writer) {
+	header(w, h.name, h.help, "histogram")
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.sum.load()))
+	// _count repeats the +Inf cumulative count so the scrape is
+	// internally consistent even when observations race the scan.
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "test", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.05, 0.5, 0.05} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`t_seconds_bucket{le="0.001"} 1`,
+		`t_seconds_bucket{le="0.01"} 2`,
+		`t_seconds_bucket{le="0.1"} 4`,
+		`t_seconds_bucket{le="+Inf"} 5`,
+		`t_seconds_count 5`,
+		`# TYPE t_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promLine accepts the exposition-format lines this registry emits.
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN))$`)
+
+func TestExpositionFormatValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a counter").Add(3)
+	r.Histogram("b_seconds", "a histogram", LatencyBuckets).Observe(0.02)
+	r.GaugeFunc("c_gauge", "a gauge", func() float64 { return 1.5 })
+	r.CounterFunc("d_total", "a func counter", func() float64 { return 9 })
+	r.LabeledFunc("e_state", "a labeled gauge", "gauge", func(emit func(string, float64)) {
+		emit(Labels("shard", "s-1", "state", "closed"), 1)
+		emit(Labels("shard", "s-1", "state", "open"), 0)
+	})
+	r.CounterVec("f_total", "a vec").With(Labels("to", "open")).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+	}
+	if !strings.Contains(b.String(), `e_state{shard="s-1",state="closed"} 1`) {
+		t.Errorf("labeled gauge series missing:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `f_total{to="open"} 1`) {
+		t.Errorf("vec counter series missing:\n%s", b.String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", LatencyBuckets)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "conc_seconds_count 8000") {
+		t.Errorf("count series wrong:\n%s", b.String())
+	}
+}
+
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("x", "", LatencyBuckets)
+	c := r.Counter("y", "")
+	v := r.CounterVec("z", "")
+	r.CounterFunc("f", "", func() float64 { t.Fatal("must not be called"); return 0 })
+	r.GaugeFunc("g", "", func() float64 { t.Fatal("must not be called"); return 0 })
+	r.LabeledFunc("l", "", "gauge", func(func(string, float64)) { t.Fatal("must not be called") })
+
+	h.Observe(1)
+	h.ObserveDuration(0)
+	c.Inc()
+	c.Add(5)
+	v.With("a=\"b\"").Inc()
+	if h.Count() != 0 || c.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate metric name")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	r.Counter("dup_total", "")
+}

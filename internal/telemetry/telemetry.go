@@ -1,0 +1,27 @@
+// Package telemetry is the zero-dependency observability layer of the
+// gesmc serving stack: request tracing (lightweight spans threaded
+// through context and propagated coordinator→shard over an HTTP
+// header), a counter/gauge/histogram registry with Prometheus text
+// exposition, and slog conventions for structured request logging.
+//
+// Everything is nil-safe by design: a disabled tier holds nil *Tracer
+// and *Registry values and every method on nil receivers (and the nil
+// *Span / *Histogram / *Counter instruments they hand out) is a no-op.
+// Call sites therefore never branch on "telemetry enabled" — the
+// instruments themselves carry the on/off decision, which is what
+// keeps the disabled path at zero cost and the enabled path within the
+// benched ≤3% ns/switch overhead budget.
+package telemetry
+
+import (
+	"log/slog"
+)
+
+// Logger returns l, or a discard logger when l is nil, so holders can
+// log unconditionally.
+func Logger(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return l
+}

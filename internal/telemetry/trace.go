@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries trace context across tiers: the coordinator sets
+// it on every shard request ("<trace>-<parent span>", both %016x), the
+// shard's HTTP layer joins the incoming trace, and the shard stamps the
+// same trace ID into every line it streams back — one coherent trace
+// per coordinated request.
+const TraceHeader = "X-Gesmc-Trace"
+
+const (
+	// maxTraces bounds the in-memory trace store; the oldest trace is
+	// evicted FIFO when a new one arrives at capacity. At typical span
+	// counts this keeps the store well under a megabyte.
+	maxTraces = 512
+	// maxSpansPerTrace drops further spans of one trace (a runaway
+	// retry loop must not grow the store unboundedly).
+	maxSpansPerTrace = 256
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed operation inside a trace. Spans are written by the
+// owner goroutine and published to the tracer only at End, so they need
+// no internal locking. A nil *Span (disabled tracer) no-ops everywhere.
+type Span struct {
+	tracer *Tracer
+
+	Trace    uint64
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// SetAttr attaches a string attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// End stamps the duration and publishes the span to its tracer's store.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	s.tracer.record(s)
+}
+
+// Tracer mints spans and keeps a bounded in-memory store of finished
+// traces for the /v1/trace span-dump endpoint. A nil *Tracer is the
+// disabled form: StartSpan passes the context through untouched and
+// returns a nil span.
+type Tracer struct {
+	mu     sync.Mutex
+	traces map[uint64][]Span
+	order  []uint64 // insertion order, for FIFO eviction
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{traces: make(map[uint64][]Span)}
+}
+
+// idCounter seeds span/trace IDs: a process-start nonce plus a counter,
+// mixed through SplitMix64 so IDs look random, never collide within a
+// process, and need no locking.
+var (
+	idCounter atomic.Uint64
+	idSeed    = uint64(time.Now().UnixNano())
+)
+
+func newID() uint64 {
+	x := idSeed + idCounter.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+type ctxKey struct{}
+
+// spanRef is the context-carried trace position: the active trace and
+// the span new children parent under.
+type spanRef struct {
+	trace uint64
+	span  uint64
+}
+
+// StartSpan opens a span named name under the context's current span
+// (or as a trace root when the context carries none) and returns the
+// child context for further nesting. End publishes it.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	ref, _ := ctx.Value(ctxKey{}).(spanRef)
+	if ref.trace == 0 {
+		ref.trace = newID()
+	}
+	sp := &Span{tracer: t, Trace: ref.trace, ID: newID(), Parent: ref.span, Name: name, Start: time.Now()}
+	return context.WithValue(ctx, ctxKey{}, spanRef{trace: ref.trace, span: sp.ID}), sp
+}
+
+// Join adopts an upstream trace position (from ParseTraceHeader) so
+// spans opened under the returned context extend the caller's trace
+// instead of starting a new one.
+func (t *Tracer) Join(ctx context.Context, trace, parent uint64) context.Context {
+	if t == nil || trace == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, spanRef{trace: trace, span: parent})
+}
+
+func (t *Tracer) record(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, ok := t.traces[s.Trace]
+	if !ok {
+		if len(t.order) >= maxTraces {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+		t.order = append(t.order, s.Trace)
+	}
+	if len(buf) < maxSpansPerTrace {
+		t.traces[s.Trace] = append(buf, *s)
+	}
+}
+
+// TraceIDString reads the context's trace ID in its wire form (%016x),
+// or "" when the context carries no trace.
+func TraceIDString(ctx context.Context) string {
+	ref, _ := ctx.Value(ctxKey{}).(spanRef)
+	if ref.trace == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", ref.trace)
+}
+
+// HeaderValue renders the context's trace position as the TraceHeader
+// value ("<trace>-<span>"), or "" when the context carries no trace.
+func HeaderValue(ctx context.Context) string {
+	ref, _ := ctx.Value(ctxKey{}).(spanRef)
+	if ref.trace == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x-%016x", ref.trace, ref.span)
+}
+
+// ParseTraceHeader decodes a TraceHeader value; ok is false on any
+// malformed input (the request then simply starts its own trace).
+func ParseTraceHeader(v string) (trace, parent uint64, ok bool) {
+	t, p, found := strings.Cut(v, "-")
+	if !found {
+		return 0, 0, false
+	}
+	trace, err := strconv.ParseUint(t, 16, 64)
+	if err != nil || trace == 0 {
+		return 0, 0, false
+	}
+	parent, err = strconv.ParseUint(p, 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return trace, parent, true
+}
+
+// SpanDump is the JSON form of one stored span, served by /v1/trace.
+type SpanDump struct {
+	TraceID     string            `json:"trace_id"`
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	Name        string            `json:"name"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// Dump returns the stored spans of the trace with the given %016x ID,
+// in completion order; ok is false when the ID is malformed, unknown,
+// or already evicted. Nil-safe.
+func (t *Tracer) Dump(id string) ([]SpanDump, bool) {
+	if t == nil {
+		return nil, false
+	}
+	trace, err := strconv.ParseUint(id, 16, 64)
+	if err != nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	spans, ok := t.traces[trace]
+	if ok {
+		spans = append([]Span(nil), spans...)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	out := make([]SpanDump, len(spans))
+	for i, s := range spans {
+		d := SpanDump{
+			TraceID:     fmt.Sprintf("%016x", s.Trace),
+			SpanID:      fmt.Sprintf("%016x", s.ID),
+			Name:        s.Name,
+			StartUnixNS: s.Start.UnixNano(),
+			DurationNS:  s.Duration.Nanoseconds(),
+		}
+		if s.Parent != 0 {
+			d.ParentID = fmt.Sprintf("%016x", s.Parent)
+		}
+		if len(s.Attrs) > 0 {
+			d.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				d.Attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = d
+	}
+	return out, true
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	if root.Parent != 0 {
+		t.Fatalf("root parent = %x, want 0", root.Parent)
+	}
+	_, child := tr.StartSpan(ctx, "child")
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %x != root trace %x", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent %x != root id %x", child.Parent, root.ID)
+	}
+	child.SetAttr("k", "v")
+	child.SetInt("n", 7)
+	child.End()
+	root.End()
+
+	id := TraceIDString(ctx)
+	if id == "" {
+		t.Fatal("TraceIDString empty on traced context")
+	}
+	spans, ok := tr.Dump(id)
+	if !ok || len(spans) != 2 {
+		t.Fatalf("Dump(%q) = %d spans, ok=%v; want 2, true", id, len(spans), ok)
+	}
+	// Completion order: child ended first.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Attrs["k"] != "v" || spans[0].Attrs["n"] != "7" {
+		t.Fatalf("child attrs = %v", spans[0].Attrs)
+	}
+	if spans[1].ParentID != "" {
+		t.Fatalf("root ParentID = %q, want empty", spans[1].ParentID)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	ctx, sp := tr.StartSpan(context.Background(), "upstream")
+	hv := HeaderValue(ctx)
+	trace, parent, ok := ParseTraceHeader(hv)
+	if !ok {
+		t.Fatalf("ParseTraceHeader(%q) not ok", hv)
+	}
+	if trace != sp.Trace || parent != sp.ID {
+		t.Fatalf("round trip = (%x, %x), want (%x, %x)", trace, parent, sp.Trace, sp.ID)
+	}
+
+	// A downstream tracer joining the header extends the same trace.
+	down := NewTracer()
+	dctx := down.Join(context.Background(), trace, parent)
+	if got := TraceIDString(dctx); got != TraceIDString(ctx) {
+		t.Fatalf("joined trace id %q != upstream %q", got, TraceIDString(ctx))
+	}
+	_, child := down.StartSpan(dctx, "downstream")
+	if child.Trace != sp.Trace || child.Parent != sp.ID {
+		t.Fatalf("joined child = (%x parent %x), want (%x parent %x)", child.Trace, child.Parent, sp.Trace, sp.ID)
+	}
+
+	for _, bad := range []string{"", "zzz", "123", "0-5", "12-zz", "-"} {
+		if _, _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) ok, want malformed", bad)
+		}
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer()
+	var first string
+	for i := 0; i < maxTraces+1; i++ {
+		ctx, sp := tr.StartSpan(context.Background(), "op")
+		sp.End()
+		if i == 0 {
+			first = TraceIDString(ctx)
+		}
+	}
+	if _, ok := tr.Dump(first); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	tr.mu.Lock()
+	n := len(tr.traces)
+	tr.mu.Unlock()
+	if n > maxTraces {
+		t.Fatalf("store holds %d traces, cap %d", n, maxTraces)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id %x duplicate or zero at i=%d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "op")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if got := TraceIDString(ctx); got != "" {
+		t.Fatalf("TraceIDString = %q on untraced context", got)
+	}
+	if got := HeaderValue(ctx); got != "" {
+		t.Fatalf("HeaderValue = %q on untraced context", got)
+	}
+	if ctx2 := tr.Join(ctx, 1, 2); ctx2 != ctx {
+		t.Fatal("nil Join must pass the context through")
+	}
+	if _, ok := tr.Dump(fmt.Sprintf("%016x", 42)); ok {
+		t.Fatal("nil Dump must report not found")
+	}
+}

@@ -210,6 +210,13 @@ type Stats struct {
 	AvgRounds          float64
 	MaxRounds          int
 	LateRoundsFraction float64
+	// FirstRoundTime and LaterRoundsTime split the superstep wall time
+	// by phase: the first dependency-free round vs. the conflict-
+	// resolution rounds after it (zero for sequential algorithms).
+	// LateRoundsFraction is LaterRoundsTime over their sum; the raw
+	// durations feed the serving tier's phase-latency histograms.
+	FirstRoundTime  time.Duration
+	LaterRoundsTime time.Duration
 	// Constraint instrumentation (zero without WithConstraint):
 	// ConstraintVetoes counts switches rejected by the constraint layer
 	// (local vetoes, connectivity rejections, and speculative switches

@@ -95,6 +95,8 @@ func (a engineStats) toStats(algorithm string) Stats {
 	if total := a.firstRound + a.laterRounds; total > 0 {
 		st.LateRoundsFraction = float64(a.laterRounds) / float64(total)
 	}
+	st.FirstRoundTime = a.firstRound
+	st.LaterRoundsTime = a.laterRounds
 	return st
 }
 

@@ -111,6 +111,11 @@ type Stats struct {
 	AvgRounds          float64 `json:"avg_rounds,omitempty"`
 	MaxRounds          int     `json:"max_rounds,omitempty"`
 	LateRoundsFraction float64 `json:"late_rounds_fraction,omitempty"`
+	// FirstRoundNS / LaterRoundsNS split the superstep wall time by
+	// kernel phase (first dependency-free round vs. conflict-resolution
+	// rounds); absent for sequential algorithms.
+	FirstRoundNS  int64 `json:"first_round_ns,omitempty"`
+	LaterRoundsNS int64 `json:"later_rounds_ns,omitempty"`
 	// Constraint instrumentation (absent without constraints).
 	ConstraintVetoes int64 `json:"constraint_vetoes,omitempty"`
 	EscapeAttempts   int64 `json:"escape_attempts,omitempty"`
@@ -126,6 +131,11 @@ type Stats struct {
 	// in by the cluster coordinator for lines it proxies, so clients
 	// can observe placement per sample.
 	Backend string `json:"backend,omitempty"`
+	// TraceID is the request trace this sample belongs to (%016x),
+	// stamped by a telemetry-enabled server. All lines of one stream —
+	// including a coordinated stream spliced across shard failovers —
+	// carry the same ID; GET /v1/trace?id= dumps the trace's spans.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FromStats converts sampler statistics to their wire form. The
@@ -146,6 +156,8 @@ func FromStats(st gesmc.Stats) Stats {
 		AvgRounds:          st.AvgRounds,
 		MaxRounds:          st.MaxRounds,
 		LateRoundsFraction: st.LateRoundsFraction,
+		FirstRoundNS:       st.FirstRoundTime.Nanoseconds(),
+		LaterRoundsNS:      st.LaterRoundsTime.Nanoseconds(),
 		ConstraintVetoes:   st.ConstraintVetoes,
 		EscapeAttempts:     st.EscapeAttempts,
 		EscapeMoves:        st.EscapeMoves,
@@ -181,6 +193,9 @@ type Line struct {
 	// ("canceled", "deadline", "closed", "internal").
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`
+	// TraceID ties an in-band error line to its request trace (sample
+	// lines carry the ID inside Stats instead).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FromSample converts one ensemble draw to its wire line. Terminal
@@ -334,6 +349,11 @@ type Metrics struct {
 	SwitchesTotal    int64   `json:"switches_total"`
 	SuperstepsPerSec float64 `json:"supersteps_per_sec"`
 	UptimeMS         int64   `json:"uptime_ms"`
+	// StartedAtMS is the process-start wall clock (Unix milliseconds):
+	// a scraper diffing counters across polls detects a restart (and
+	// resets its deltas) when StartedAtMS changes, where UptimeMS alone
+	// is ambiguous under clock skew between scrapes.
+	StartedAtMS int64 `json:"started_at_ms,omitempty"`
 
 	// Cluster is the coordinator's placement view; absent on plain
 	// daemons.
